@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every paper figure/table has one benchmark that regenerates it (timed) and
+asserts its qualitative shape.  The parameter grid defaults to the "smoke"
+scale so ``pytest benchmarks/ --benchmark-only`` completes in minutes; set
+``REPRO_BENCH_SCALE=small`` (or ``paper`` for the full grid, up to 65536
+nodes) to run larger.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

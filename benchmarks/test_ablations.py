@@ -1,0 +1,82 @@
+"""Benchmarks for the design-choice ablations (see DESIGN.md §4).
+
+Each ablation is timed and its conclusion asserted — if a refactor silently
+destroys the property a design decision was based on, these fail.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations, caching_study
+
+
+def test_merge_economy(benchmark, scale):
+    """Canon condition (b) vs naive per-level Chord: big state saving."""
+    data = benchmark.pedantic(
+        ablations.merge_economy, args=(scale,), rounds=1, iterations=1
+    )
+    assert data["degree_ratio"] > 1.5, "naive should pay >1.5x the state"
+    # ...without the naive construction being dramatically faster to route.
+    assert data["crescendo_hops"] < 2 * data["naive_hops"]
+
+
+def test_lookahead_gain(benchmark, scale):
+    """Greedy-with-lookahead saves hops on both Symphony and Cacophony."""
+    data = benchmark.pedantic(
+        ablations.lookahead_gain, args=(scale,), rounds=1, iterations=1
+    )
+    assert data["symphony_saving"] > 0
+    assert data["cacophony_saving"] > 0
+
+
+def test_sampling_curve(benchmark, scale):
+    """Link latency decays with sample size and flattens by s ~ 32."""
+    curve = benchmark.pedantic(
+        ablations.sampling_curve, args=(scale,), rounds=1, iterations=1
+    )
+    assert curve[32] < curve[1] / 2
+    assert curve[32] < 2.5 * curve[64], "diminishing returns beyond s=32"
+
+
+def test_group_target_sweep(benchmark, scale):
+    """Crescendo (Prox.) is never worse than Chord (Prox.) at any group size."""
+    data = benchmark.pedantic(
+        ablations.group_target_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    for target, (chord_prox, crescendo_prox) in data.items():
+        assert crescendo_prox <= chord_prox + 0.15, f"group target {target}"
+
+
+def test_leaf_set_sweep(benchmark, scale):
+    """Bigger leaf sets deliver more lookups under unrepaired crashes."""
+    data = benchmark.pedantic(
+        ablations.leaf_set_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    assert data[4] >= data[1]
+    assert data[8] >= 0.9
+
+
+def test_bucket_replication_sweep(benchmark, scale):
+    """Kandy: per-bucket redundancy buys crash resilience (k=2+ over k=1)."""
+    data = benchmark.pedantic(
+        ablations.bucket_replication_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    assert max(data[2], data[3]) >= data[1]
+    assert data[3] >= 0.8
+
+
+def test_cancan_alignment(benchmark, scale):
+    """Domain-aligned identifiers give Can-Can strict path locality."""
+    data = benchmark.pedantic(
+        ablations.cancan_alignment, args=(scale,), rounds=1, iterations=1
+    )
+    assert data["aligned"] == 1.0
+    assert data["random"] < 0.9
+
+
+def test_caching_study(benchmark, scale):
+    """Proxy caching: a fraction of path caching's copies, comparable hits."""
+    data = benchmark.pedantic(
+        caching_study.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    assert data["path"]["copies"] > 3 * data["proxy"]["copies"]
+    assert data["proxy"]["hit_rate"] > 0.6

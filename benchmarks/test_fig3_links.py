@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 (avg #links/node vs n, levels 1-5)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig3_links
+
+
+def test_fig3_regenerate(benchmark, scale):
+    data = benchmark.pedantic(
+        fig3_links.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    # Shape assertions (the paper's claims about this figure):
+    # 1) average degree stays within ~1 link of log2(n) at every depth;
+    # 2) adding hierarchy levels never increases the average degree by more
+    #    than noise — empirically it decreases.
+    for (size, levels), degree in data.items():
+        assert abs(degree - math.log2(size)) < 2.0, (size, levels, degree)
+    sizes = sorted({size for size, _ in data})
+    levels = sorted({lv for _, lv in data})
+    for size in sizes:
+        assert data[(size, levels[-1])] <= data[(size, levels[0])] + 0.1

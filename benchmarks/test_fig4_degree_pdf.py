@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 4 (PDF of #links/node)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_degree_pdf
+
+
+def test_fig4_regenerate(benchmark, scale):
+    dists = benchmark.pedantic(
+        fig4_degree_pdf.distributions, args=(scale,), rounds=1, iterations=1
+    )
+    levels = sorted(dists)
+    # Every PDF is normalised.
+    for pdf in dists.values():
+        assert abs(sum(pdf.values()) - 1.0) < 1e-9
+    # Paper claims: mass shifts to the left of the flat mean as levels grow,
+    # while the maximum degree barely moves.
+    flat_mean = sum(d * p for d, p in dists[levels[0]].items())
+    left_flat = sum(p for d, p in dists[levels[0]].items() if d < flat_mean - 1)
+    left_deep = sum(p for d, p in dists[levels[-1]].items() if d < flat_mean - 1)
+    assert left_deep >= left_flat
+    assert max(dists[levels[-1]]) <= max(dists[levels[0]]) + 4

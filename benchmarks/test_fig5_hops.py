@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (avg routing hops vs n, levels 1-5)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import fig5_hops
+
+
+def test_fig5_regenerate(benchmark, scale):
+    data = benchmark.pedantic(
+        fig5_hops.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    sizes = sorted({size for size, _ in data})
+    levels = sorted({lv for _, lv in data})
+    # Hops ~ 0.5*log2(n) + small constant at every depth.
+    for (size, lv), hops in data.items():
+        assert hops <= 0.5 * math.log2(size) + 1.5
+    # The hierarchy penalty is bounded (paper: at most 0.7 hops).
+    for size in sizes:
+        penalty = data[(size, levels[-1])] - data[(size, levels[0])]
+        assert penalty <= 1.0
+    # Hops grow with n (log-shaped curve).
+    if len(sizes) >= 2:
+        assert data[(sizes[-1], levels[0])] >= data[(sizes[0], levels[0])] - 0.3

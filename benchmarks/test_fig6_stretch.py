@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6 (latency & stretch on the transit-stub model)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_stretch
+
+
+def test_fig6_regenerate(benchmark, scale):
+    data = benchmark.pedantic(
+        fig6_stretch.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    sizes = sorted({size for _, size in data})
+    for size in sizes:
+        chord = data[("Chord (No Prox.)", size)][0]
+        crescendo = data[("Crescendo (No Prox.)", size)][0]
+        chord_prox = data[("Chord (Prox.)", size)][0]
+        crescendo_prox = data[("Crescendo (Prox.)", size)][0]
+        # Paper's ordering: Crescendo beats Chord in both regimes, and
+        # proximity adaptation helps Chord substantially.
+        assert crescendo < chord
+        assert crescendo_prox < chord_prox
+        assert chord_prox < chord
+        assert crescendo_prox == min(
+            crescendo_prox, chord_prox, crescendo, chord
+        ), "Crescendo (Prox.) is the best system"
+    if len(sizes) >= 2:
+        # Crescendo's stretch is near-constant in n; plain Chord's grows.
+        growth_crescendo = (
+            data[("Crescendo (No Prox.)", sizes[-1])][0]
+            - data[("Crescendo (No Prox.)", sizes[0])][0]
+        )
+        growth_chord = (
+            data[("Chord (No Prox.)", sizes[-1])][0]
+            - data[("Chord (No Prox.)", sizes[0])][0]
+        )
+        assert growth_crescendo <= growth_chord + 0.3

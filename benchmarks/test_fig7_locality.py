@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 7 (latency vs query locality level)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_locality
+
+
+def test_fig7_regenerate(benchmark, scale):
+    data = benchmark.pedantic(
+        fig7_locality.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    crescendo = [data[("Crescendo (No Prox.)", lv)] for lv in (0, 1, 2, 3, 4)]
+    crescendo_prox = [data[("Crescendo (Prox.)", lv)] for lv in (0, 1, 2, 3, 4)]
+    chord_prox = [data[("Chord (Prox.)", lv)] for lv in (0, 1, 2, 3, 4)]
+    # Crescendo: latency collapses as locality rises (virtually zero by the
+    # stub-domain level); monotone decreasing.
+    assert all(x >= y for x, y in zip(crescendo, crescendo[1:]))
+    assert crescendo[-1] < crescendo[0] / 20
+    assert crescendo_prox[-1] < crescendo_prox[0] / 20
+    # Chord (Prox.) barely improves: no path locality in flat routing.
+    assert chord_prox[-1] > chord_prox[0] / 4
+    # Proximity only helps Crescendo's top-level queries (paper text).
+    assert crescendo_prox[0] <= crescendo[0] + 1.0

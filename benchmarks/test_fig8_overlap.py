@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (hop/latency overlap fraction vs level)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_overlap
+
+
+def test_fig8_regenerate(benchmark, scale):
+    data = benchmark.pedantic(
+        fig8_overlap.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    levels = (0, 1, 2, 3, 4)
+    cres_hop = [data[("Crescendo", lv)][0] for lv in levels]
+    cres_lat = [data[("Crescendo", lv)][1] for lv in levels]
+    chord_hop = [data[("Chord (Prox.)", lv)][0] for lv in levels]
+    # Crescendo's overlap rises strongly with domain level...
+    assert cres_hop[3] > cres_hop[0]
+    assert cres_hop[3] > 0.5
+    # ...latency overlap exceeds hop overlap (local non-shared hops are cheap)...
+    for lv in (1, 2, 3):
+        assert data[("Crescendo", lv)][1] >= data[("Crescendo", lv)][0]
+    # ...and Chord (Prox.) has little overlap anywhere.
+    for lv in (1, 2, 3):
+        assert chord_hop[lv] < 0.5
+        assert cres_hop[lv] > chord_hop[lv]

@@ -1,0 +1,58 @@
+"""Benchmarks for dynamic maintenance: join cost and stabilization."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro import IdSpace
+from repro.simulation.protocol import SimulatedCrescendo
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+
+def grown(size, seed):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    net = SimulatedCrescendo(space)
+    for node_id in space.random_ids(size, rng):
+        net.join(node_id, PATHS[rng.randrange(len(PATHS))])
+    return net, rng
+
+
+def test_join_protocol(benchmark):
+    """Time 25 joins into a 400-node network; assert O(log n) messages."""
+    net, rng = grown(400, seed=0)
+
+    def run():
+        costs = []
+        for _ in range(25):
+            new_id = net.space.random_id(rng)
+            while new_id in net.nodes:
+                new_id = net.space.random_id(rng)
+            costs.append(net.join(new_id, PATHS[rng.randrange(4)]))
+        return statistics.mean(costs)
+
+    mean_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    import math
+
+    assert mean_cost < 12 * math.log2(len(net.nodes))
+
+
+def test_stabilization_round(benchmark):
+    net, rng = grown(400, seed=1)
+    benchmark.pedantic(net.stabilize, rounds=1, iterations=1)
+    assert net.static_links() == net.oracle_links()
+
+
+def test_churn_recovery(benchmark):
+    """Crash 10% of a 300-node network and time convergence to the oracle."""
+    net, rng = grown(300, seed=2)
+    victims = rng.sample(list(net.nodes), 30)
+    for victim in victims:
+        net.crash(victim)
+
+    rounds = benchmark.pedantic(
+        net.stabilize_to_convergence, rounds=1, iterations=1
+    )
+    assert rounds <= 20

@@ -1,0 +1,63 @@
+"""Micro-benchmarks: routing throughput of the greedy engines."""
+
+from __future__ import annotations
+
+import random
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring, route_ring_lookahead, route_xor
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.dhts.kandy import KandyNetwork
+from repro.dhts.symphony import SymphonyNetwork
+
+SIZE = 4000
+
+
+def setup_ring():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(SIZE, rng)
+    hierarchy = build_uniform_hierarchy(ids, 10, 3, rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+    pairs = [tuple(rng.sample(ids, 2)) for _ in range(500)]
+    return net, pairs
+
+
+def test_route_crescendo(benchmark):
+    net, pairs = setup_ring()
+
+    def run():
+        delivered = 0
+        for a, b in pairs:
+            delivered += route_ring(net, a, b).success
+        return delivered
+
+    assert benchmark(run) == len(pairs)
+
+
+def test_route_lookahead_symphony(benchmark):
+    rng = random.Random(1)
+    space = IdSpace(32)
+    ids = space.random_ids(SIZE, rng)
+    hierarchy = build_uniform_hierarchy(ids, 10, 1, rng)
+    net = SymphonyNetwork(space, hierarchy, rng).build()
+    pairs = [tuple(rng.sample(ids, 2)) for _ in range(200)]
+
+    def run():
+        return sum(route_ring_lookahead(net, a, b).success for a, b in pairs)
+
+    assert benchmark(run) == len(pairs)
+
+
+def test_route_kandy_xor(benchmark):
+    rng = random.Random(2)
+    space = IdSpace(32)
+    ids = space.random_ids(SIZE, rng)
+    hierarchy = build_uniform_hierarchy(ids, 10, 3, rng)
+    net = KandyNetwork(space, hierarchy, rng).build()
+    pairs = [tuple(rng.sample(ids, 2)) for _ in range(500)]
+
+    def run():
+        return sum(route_xor(net, a, b).success for a, b in pairs)
+
+    assert benchmark(run) == len(pairs)

@@ -1,0 +1,40 @@
+"""Benchmarks for the non-figure studies: theorems, isolation, churn.
+
+Each regenerates its study table (timed) and asserts the paper's claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import churn_study, isolation_study, theorems
+
+
+def test_theorem_bounds(benchmark, scale):
+    """Every proved bound (Theorems 1-5) holds on measured instances."""
+    data = benchmark.pedantic(
+        theorems.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    for (metric, size), (measured, bound) in data.items():
+        assert measured <= bound, f"{metric} violated at n={size}"
+
+
+def test_fault_isolation(benchmark, scale):
+    """Crescendo: perfect intra-domain delivery under external failure."""
+    data = benchmark.pedantic(
+        isolation_study.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    for depth in (1, 2):
+        rate, inflation = data[("Crescendo", depth)]
+        assert rate == 1.0
+        assert abs(inflation - 1.0) < 1e-9
+        assert data[("Chord", depth)][0] < rate
+
+
+def test_churn_resilience(benchmark, scale):
+    """Delivery stays high and the network re-converges at every intensity."""
+    data = benchmark.pedantic(
+        churn_study.measurements, args=(scale,), rounds=1, iterations=1
+    )
+    for label in ("light", "moderate", "heavy"):
+        row = data[label]
+        assert row["delivery_rate"] > 0.9, label
+        assert row["converged"] == 1.0, label

@@ -1,0 +1,24 @@
+"""Benchmark: the all-families flat-vs-Canonical comparison.
+
+Asserts the paper's §3 thesis for every family at once: the Canonical
+version keeps its flat sibling's state budget, routes in comparable hops,
+and achieves *perfect* intra-domain path locality (flat versions leak)."""
+
+from __future__ import annotations
+
+from repro.experiments import zoo
+
+
+def test_zoo(benchmark, scale):
+    data = benchmark.pedantic(zoo.measurements, args=(scale,), rounds=1, iterations=1)
+    for family in zoo.FAMILIES:
+        flat_degree, flat_hops, flat_local = data[(family, "flat")]
+        canon_degree, canon_hops, canon_local = data[(family, "canon")]
+        # State budget: canon never pays more than a successor's worth extra.
+        assert canon_degree <= flat_degree + 1.0, family
+        # Hops: near-identical (the paper's <= +0.7 claim, with slack for
+        # the randomized families).
+        assert canon_hops <= flat_hops + 1.5, family
+        # Locality: Canon routes stay entirely inside the common domain.
+        assert canon_local == 1.0, family
+        assert flat_local < 0.8, family

@@ -1,0 +1,84 @@
+"""A global deployment on a modelled internet (transit-stub topology).
+
+Attaches 4096 DHT nodes to the paper's 2040-router transit-stub model and
+compares the four systems of Figure 6 — Chord and Crescendo, with and
+without group-based proximity adaptation — on latency, stretch, and query
+locality (Figure 7's axis).
+
+Run:  python examples/global_deployment.py
+"""
+
+import random
+import statistics
+
+from repro import ChordNetwork, CrescendoNetwork, IdSpace, route
+from repro.analysis import Table
+from repro.core.routing import route_ring
+from repro.proximity import (
+    ProximityChordNetwork,
+    ProximityCrescendoNetwork,
+    route_grouped,
+)
+from repro.topology import TransitStubTopology
+from repro.workloads import locality_pair
+
+NODES = 4096
+SAMPLES = 400
+
+
+def main() -> None:
+    rng = random.Random(11)
+    print("building 2040-router transit-stub model…")
+    topo = TransitStubTopology(rng=rng)
+
+    space = IdSpace(32)
+    ids = space.random_ids(NODES, rng)
+    hierarchy = topo.attach_nodes(ids, rng)
+    latency = topo.node_latency
+    direct = topo.average_direct_latency(3000, rng)
+    print(f"{NODES} nodes attached; mean direct latency {direct:.0f} ms\n")
+
+    systems = [
+        ("Chord (No Prox.)", ChordNetwork(space, hierarchy).build(), route_ring),
+        ("Crescendo (No Prox.)", CrescendoNetwork(space, hierarchy).build(), route_ring),
+        ("Chord (Prox.)",
+         ProximityChordNetwork(space, hierarchy, latency, rng).build(), route_grouped),
+        ("Crescendo (Prox.)",
+         ProximityCrescendoNetwork(space, hierarchy, latency, rng).build(), route_grouped),
+    ]
+
+    table = Table("Figure 6 shape: stretch and latency", ["system", "stretch", "ms"])
+    for label, net, router in systems:
+        lats = []
+        for _ in range(SAMPLES):
+            a, b = rng.sample(ids, 2)
+            result = router(net, a, b)
+            assert result.success
+            lats.append(result.latency(latency))
+        mean = statistics.mean(lats)
+        table.add_row(label, mean / direct, mean)
+    print(table.render())
+
+    # Query locality (Figure 7's axis): latency when the destination is
+    # drawn from the source's level-L domain.
+    print()
+    loc = Table(
+        "Figure 7 shape: latency (ms) vs query locality",
+        ["locality", "Crescendo", "Chord (Prox.)"],
+    )
+    crescendo, chord_prox = systems[1][1], systems[2][1]
+    for level in (0, 1, 2, 3, 4):
+        pairs = [locality_pair(hierarchy, ids, rng, level) for _ in range(200)]
+        cres = statistics.mean(
+            route_ring(crescendo, a, b).latency(latency) for a, b in pairs
+        )
+        chor = statistics.mean(
+            route_grouped(chord_prox, a, b).latency(latency) for a, b in pairs
+        )
+        name = "Top Level" if level == 0 else f"Level {level}"
+        loc.add_row(name, cres, chor)
+    print(loc.render())
+
+
+if __name__ == "__main__":
+    main()

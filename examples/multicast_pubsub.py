@@ -1,0 +1,64 @@
+"""Publish/subscribe multicast over Canon DHTs (the paper's §1 use case).
+
+A video stream with 1000 subscribers: the dissemination tree is the union
+of the subscribers' reversed query paths (Figure 9's construction, turned
+into a service).  On Crescendo, convergence of inter-domain paths makes
+same-domain subscribers share their tree spine, so the expensive
+inter-domain links carry each packet a handful of times instead of
+hundreds.
+
+Run:  python examples/multicast_pubsub.py
+"""
+
+import random
+
+from repro import ChordNetwork, CrescendoNetwork, IdSpace
+from repro.analysis import Table
+from repro.multicast import MulticastService
+from repro.topology import TransitStubTopology
+
+SUBSCRIBERS = 1000
+NODES = 4096
+
+
+def main() -> None:
+    rng = random.Random(17)
+    print("building transit-stub internet + attaching nodes…")
+    topo = TransitStubTopology(rng=rng)
+    space = IdSpace(32)
+    ids = space.random_ids(NODES, rng)
+    hierarchy = topo.attach_nodes(ids, rng)
+    latency = topo.node_latency
+
+    subscribers = rng.sample(ids, SUBSCRIBERS)
+    table = Table(
+        f"Streaming to {SUBSCRIBERS} subscribers — dissemination tree cost",
+        ["system", "tree edges", "x-transit-domain", "x-transit-node",
+         "x-stub-domain", "mean delivery ms"],
+    )
+    for label, net in (
+        ("Crescendo", CrescendoNetwork(space, hierarchy).build()),
+        ("Chord", ChordNetwork(space, hierarchy).build()),
+    ):
+        service = MulticastService(net, latency_fn=latency)
+        service.create_topic("live-stream")
+        for node in subscribers:
+            service.subscribe(node, "live-stream")
+        report = service.publish("live-stream")
+        assert report.delivered_all(set(subscribers))
+        mean_latency = sum(report.latencies.values()) / len(report.latencies)
+        table.add_row(
+            label,
+            report.messages,
+            report.interdomain_links[1],
+            report.interdomain_links[2],
+            report.interdomain_links[3],
+            mean_latency,
+        )
+    print(table.render())
+    print("\nEvery subscriber received the stream in both systems; Crescendo "
+          "just pays for it with a fraction of the inter-domain bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

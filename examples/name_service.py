@@ -1,0 +1,88 @@
+"""A DNS-flavoured hierarchical name service on Canon.
+
+The paper's introduction lists DNS as the archetypal hierarchical system.
+This example builds one on top of Crescendo's hierarchical storage: each
+organisation registers names *inside its own domain* (bytes never leave it),
+delegates lookups upward through access domains, and benefits from proxy
+caching for repeated resolution — all without any dedicated infrastructure,
+on the same flat pool of cooperating nodes.
+
+Run:  python examples/name_service.py
+"""
+
+import random
+
+from repro import CrescendoNetwork, IdSpace, hierarchy_from_names
+from repro.storage import CachingStore, HierarchicalStore
+
+
+class NameService:
+    """resolve(querier, "host.domain.tld") -> record, with scoped publishing."""
+
+    def __init__(self, store: CachingStore) -> None:
+        self.store = store
+        self.hierarchy = store.hierarchy
+
+    def publish(self, registrar: int, name: str, record: str,
+                zone_depth: int = 1, visibility_depth: int = 0) -> None:
+        """Register a name.
+
+        ``zone_depth`` pins the record's bytes inside the registrar's
+        depth-``zone_depth`` domain (its organisation); ``visibility_depth``
+        controls who may resolve it (0 = everyone).
+        """
+        path = self.hierarchy.path_of(registrar)
+        self.store.put(
+            registrar, name, record,
+            storage_domain=path[:zone_depth],
+            access_domain=path[:visibility_depth],
+        )
+
+    def resolve(self, querier: int, name: str):
+        result = self.store.get(querier, name)
+        return (result.values[0] if result.found else None), result
+
+
+def main() -> None:
+    rng = random.Random(23)
+    space = IdSpace(32)
+    orgs = ["acme.eng", "acme.sales", "globex.research", "globex.ops"]
+    names = {}
+    for org in orgs:
+        for _ in range(50):
+            node_id = space.random_id(rng)
+            while node_id in names:
+                node_id = space.random_id(rng)
+            names[node_id] = org
+    hierarchy = hierarchy_from_names(names)
+    net = CrescendoNetwork(space, hierarchy).build()
+    service = NameService(CachingStore(HierarchicalStore(net), capacity=256))
+
+    acme_eng = hierarchy.members(("acme", "eng"))
+    globex = hierarchy.members(("globex",))
+
+    # Public record: anyone can resolve www.acme.com.
+    service.publish(acme_eng[0], "www.acme.com", "A 203.0.113.10")
+    # Organisation-internal record: only acme hosts may resolve it.
+    service.publish(acme_eng[0], "vault.acme.internal",
+                    "A 10.0.0.2", zone_depth=1, visibility_depth=1)
+
+    record, result = service.resolve(globex[0], "www.acme.com")
+    print(f"globex resolves www.acme.com      -> {record}  ({result.hops} hops)")
+
+    record, result = service.resolve(globex[0], "vault.acme.internal")
+    print(f"globex resolves vault (internal)  -> {record}  (want None)")
+
+    acme_sales = hierarchy.members(("acme", "sales"))
+    record, result = service.resolve(acme_sales[0], "vault.acme.internal")
+    print(f"acme.sales resolves vault         -> {record}  ({result.hops} hops)")
+
+    # Repeated resolution exploits the per-level proxy caches.
+    cold = service.resolve(globex[1], "www.acme.com")[1].hops
+    warm = [service.resolve(node, "www.acme.com")[1].hops for node in globex[2:10]]
+    print(f"cold lookup: {cold} hops; warm lookups from globex: {warm}")
+    print(f"cache hit rate: {service.store.stats.hit_rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

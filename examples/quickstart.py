@@ -1,0 +1,59 @@
+"""Quickstart: build a Crescendo DHT and route some lookups.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+import statistics
+
+from repro import (
+    CrescendoNetwork,
+    IdSpace,
+    build_uniform_hierarchy,
+    route,
+)
+
+
+def main() -> None:
+    rng = random.Random(7)
+    space = IdSpace(32)
+
+    # 1000 nodes arranged in a 3-level conceptual hierarchy (fan-out 10),
+    # each drawing a random 32-bit identifier — Section 5.1's setup.
+    ids = space.random_ids(1000, rng)
+    hierarchy = build_uniform_hierarchy(ids, fanout=10, levels=3, rng=rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+
+    print(f"nodes: {net.size}")
+    print(f"average links per node: {net.average_degree():.2f} "
+          f"(log2 n = {__import__('math').log2(net.size):.2f})")
+
+    # Route between random pairs with plain greedy clockwise routing.
+    hops = []
+    for _ in range(500):
+        src, dst = rng.sample(ids, 2)
+        result = route(net, src, dst)
+        assert result.success and result.terminal == dst
+        hops.append(result.hops)
+    print(f"average routing hops: {statistics.mean(hops):.2f} "
+          f"(0.5 * log2 n = {0.5 * __import__('math').log2(net.size):.2f})")
+
+    # Key lookup: greedy routing terminates at the responsible node.
+    key = space.hash_key("hello-world")
+    result = route(net, ids[0], key)
+    print(f"key 'hello-world' -> node {result.terminal} in {result.hops} hops")
+
+    # The Canon guarantee: a route between two nodes of the same domain
+    # never leaves that domain.
+    src = ids[0]
+    domain = hierarchy.path_of(src)[:1]
+    peer = next(m for m in hierarchy.members(domain) if m != src)
+    result = route(net, src, peer)
+    inside = all(
+        hierarchy.path_of(n)[:1] == domain for n in result.path
+    )
+    print(f"intra-domain route stays inside {domain!r}: {inside}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Canon in G Major — hierarchical DHTs with the Canon construction.
+
+A full reproduction of Ganesan, Gummadi & Garcia-Molina, *Canon in G Major:
+Designing DHTs with Hierarchical Structure* (ICDCS 2004): the Canon merge
+paradigm; Crescendo, Cacophony, ND-Crescendo, Kandy and Can-Can; their flat
+baselines; group-based physical-network proximity adaptation; hierarchical
+storage, access control and caching; partition balancing; a transit-stub
+internet model; and a message-level simulator for dynamic maintenance.
+
+Quickstart::
+
+    import random
+    from repro import IdSpace, build_uniform_hierarchy, CrescendoNetwork, route
+
+    rng = random.Random(7)
+    space = IdSpace(32)
+    ids = space.random_ids(1000, rng)
+    hierarchy = build_uniform_hierarchy(ids, fanout=10, levels=3, rng=rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+    r = route(net, ids[0], ids[1])
+    print(r.hops, r.success)
+"""
+
+from .core import (
+    DEFAULT_BITS,
+    ROOT,
+    DHTNetwork,
+    Domain,
+    DomainPath,
+    Hierarchy,
+    IdSpace,
+    Route,
+    build_uniform_hierarchy,
+    hierarchy_from_names,
+    parse_name,
+    route,
+    route_ring,
+    route_ring_lookahead,
+    route_xor,
+)
+from .dhts import (
+    CANNetwork,
+    CacophonyNetwork,
+    CanCanNetwork,
+    ChordNetwork,
+    CrescendoNetwork,
+    KademliaNetwork,
+    KandyNetwork,
+    LanCrescendoNetwork,
+    NDChordNetwork,
+    NDCrescendoNetwork,
+    SymphonyNetwork,
+    build_can,
+    build_cancan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_BITS",
+    "ROOT",
+    "CANNetwork",
+    "CacophonyNetwork",
+    "CanCanNetwork",
+    "ChordNetwork",
+    "CrescendoNetwork",
+    "DHTNetwork",
+    "Domain",
+    "DomainPath",
+    "Hierarchy",
+    "IdSpace",
+    "KademliaNetwork",
+    "KandyNetwork",
+    "LanCrescendoNetwork",
+    "NDChordNetwork",
+    "NDCrescendoNetwork",
+    "Route",
+    "SymphonyNetwork",
+    "build_can",
+    "build_cancan",
+    "build_uniform_hierarchy",
+    "hierarchy_from_names",
+    "parse_name",
+    "route",
+    "route_ring",
+    "route_ring_lookahead",
+    "route_xor",
+]

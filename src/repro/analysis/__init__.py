@@ -1,0 +1,31 @@
+"""Measurement and reporting: degree/hop/latency statistics, stretch, path
+overlap fractions, and paper-style result tables."""
+
+from .metrics import DegreeStats, RoutingStats, sample_routing, stretch
+from .theory import (
+    chord_degree_bound,
+    chord_hops_bound,
+    crescendo_degree_bound,
+    crescendo_hops_bound,
+    whp_degree_envelope,
+    whp_hops_envelope,
+)
+from .overlap import common_suffix_edges, mean_overlap, overlap_fractions
+from .tables import Table
+
+__all__ = [
+    "DegreeStats",
+    "RoutingStats",
+    "Table",
+    "common_suffix_edges",
+    "mean_overlap",
+    "overlap_fractions",
+    "sample_routing",
+    "stretch",
+    "chord_degree_bound",
+    "chord_hops_bound",
+    "crescendo_degree_bound",
+    "crescendo_hops_bound",
+    "whp_degree_envelope",
+    "whp_hops_envelope",
+]

@@ -1,0 +1,106 @@
+"""Measurement helpers: degree, hops, latency, stretch.
+
+These are the quantities on the axes of the paper's Figures 3-7.  All
+sampling helpers take an explicit ``rng`` and a ``router`` callable so the
+same harness measures every network family (greedy ring, lookahead, XOR,
+grouped-proximity routing).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.network import DHTNetwork
+from ..core.routing import Route, route_ring
+from ..workloads.queries import random_pair
+
+Router = Callable[[DHTNetwork, int, int], Route]
+LatencyFn = Callable[[int, int], float]
+
+
+@dataclass
+class DegreeStats:
+    mean: float
+    maximum: int
+    minimum: int
+    pdf: Dict[int, float]
+
+    @classmethod
+    def of(cls, network: DHTNetwork) -> "DegreeStats":
+        degrees = network.degrees()
+        return cls(
+            mean=statistics.mean(degrees),
+            maximum=max(degrees),
+            minimum=min(degrees),
+            pdf=network.degree_distribution(),
+        )
+
+
+@dataclass
+class RoutingStats:
+    samples: int
+    delivered: int
+    mean_hops: float
+    mean_latency: Optional[float] = None
+
+    @property
+    def success_rate(self) -> float:
+        return self.delivered / self.samples if self.samples else 0.0
+
+
+def sample_routing(
+    network: DHTNetwork,
+    rng,
+    samples: int = 500,
+    router: Router = route_ring,
+    latency_fn: Optional[LatencyFn] = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> RoutingStats:
+    """Route random (or given) node pairs and aggregate hops/latency."""
+    hops: List[int] = []
+    latencies: List[float] = []
+    delivered = 0
+    pair_iter = (
+        pairs
+        if pairs is not None
+        else [random_pair(network.node_ids, rng) for _ in range(samples)]
+    )
+    total = 0
+    for src, dst in pair_iter:
+        total += 1
+        result = router(network, src, dst)
+        if not (result.success and result.terminal == dst):
+            continue
+        delivered += 1
+        hops.append(result.hops)
+        if latency_fn is not None:
+            latencies.append(result.latency(latency_fn))
+    return RoutingStats(
+        samples=total,
+        delivered=delivered,
+        mean_hops=statistics.mean(hops) if hops else 0.0,
+        mean_latency=statistics.mean(latencies) if latencies else None,
+    )
+
+
+def stretch(
+    network: DHTNetwork,
+    rng,
+    latency_fn: LatencyFn,
+    direct_latency: float,
+    samples: int = 500,
+    router: Router = route_ring,
+) -> Tuple[float, float]:
+    """(stretch, mean overlay latency) relative to mean direct latency.
+
+    Stretch 1 means overlay routing is as fast as routing directly between
+    the two hosts on the modelled internet (Figure 6).
+    """
+    stats = sample_routing(
+        network, rng, samples=samples, router=router, latency_fn=latency_fn
+    )
+    if stats.mean_latency is None or direct_latency <= 0:
+        raise ValueError("latency sampling failed")
+    return stats.mean_latency / direct_latency, stats.mean_latency

@@ -1,0 +1,72 @@
+"""Path-overlap metrics for the caching experiment (Figure 8).
+
+A node r in domain D queries key k along path P; a second node r' drawn from
+the same domain issues the same query along path P'.  Convergence of
+inter-domain paths makes the shared portion of the two paths a common
+*suffix* (both pass through D's proxy node for k and coincide afterwards).
+
+- hop overlap fraction   = |shared suffix edges| / |P' edges|
+- latency overlap fraction = latency(shared suffix) / latency(P')
+
+These approximate the bandwidth and latency savings of caching the first
+answer on its path.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, List, Optional, Sequence, Tuple
+
+LatencyFn = Callable[[int, int], float]
+
+
+def common_suffix_edges(
+    path_a: Sequence[int], path_b: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Edges of the longest common suffix of two node paths."""
+    edges_a = list(zip(path_a, path_a[1:]))
+    edges_b = list(zip(path_b, path_b[1:]))
+    shared: List[Tuple[int, int]] = []
+    for ea, eb in zip(reversed(edges_a), reversed(edges_b)):
+        if ea != eb:
+            break
+        shared.append(ea)
+    shared.reverse()
+    return shared
+
+
+def overlap_fractions(
+    path_ref: Sequence[int],
+    path_second: Sequence[int],
+    latency_fn: Optional[LatencyFn] = None,
+) -> Tuple[float, Optional[float]]:
+    """(hop overlap fraction, latency overlap fraction) of the second path."""
+    second_edges = list(zip(path_second, path_second[1:]))
+    if not second_edges:
+        return 1.0, 1.0 if latency_fn else None
+    shared = common_suffix_edges(path_ref, path_second)
+    hop_fraction = len(shared) / len(second_edges)
+    if latency_fn is None:
+        return hop_fraction, None
+    total = sum(latency_fn(a, b) for a, b in second_edges)
+    shared_latency = sum(latency_fn(a, b) for a, b in shared)
+    latency_fraction = shared_latency / total if total > 0 else 1.0
+    return hop_fraction, latency_fraction
+
+
+def mean_overlap(
+    pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+    latency_fn: Optional[LatencyFn] = None,
+) -> Tuple[float, Optional[float]]:
+    """Average (hop, latency) overlap fractions over (P, P') path pairs."""
+    hop_fracs: List[float] = []
+    lat_fracs: List[float] = []
+    for ref, second in pairs:
+        hop_frac, lat_frac = overlap_fractions(ref, second, latency_fn)
+        hop_fracs.append(hop_frac)
+        if lat_frac is not None:
+            lat_fracs.append(lat_frac)
+    return (
+        statistics.mean(hop_fracs) if hop_fracs else 0.0,
+        statistics.mean(lat_fracs) if lat_fracs else None,
+    )

@@ -1,0 +1,64 @@
+"""The paper's analytic bounds (Theorems 1-6) as executable functions.
+
+The paper proves expectation bounds for Chord (its Theorems 1 and 4 are, to
+the authors' knowledge, the first such proofs) and for Crescendo.  Encoding
+them as functions lets tests and the ``theorems`` experiment compare every
+bound against measurements on the same axis the paper uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chord_degree_bound(n: int) -> float:
+    """Theorem 1: E[degree] <= log2(n-1) + 1 in an n-node Chord ring."""
+    if n < 2:
+        return 0.0
+    return math.log2(n - 1) + 1
+
+
+def crescendo_degree_bound(n: int, levels: int) -> float:
+    """Theorem 2: E[degree] <= log2(n-1) + min(l, log2 n) for l levels."""
+    if n < 2:
+        return 0.0
+    return math.log2(n - 1) + min(levels, math.log2(n))
+
+
+def chord_hops_bound(n: int) -> float:
+    """Theorem 4: E[hops] <= 0.5*log2(n-1) + 0.5 between random nodes."""
+    if n < 2:
+        return 0.0
+    return 0.5 * math.log2(n - 1) + 0.5
+
+
+def crescendo_hops_bound(n: int) -> float:
+    """Theorem 5: E[hops] <= log2(n-1) + 1 irrespective of the hierarchy."""
+    if n < 2:
+        return 0.0
+    return math.log2(n - 1) + 1
+
+
+def whp_degree_envelope(n: int, constant: float = 4.0) -> float:
+    """Theorem 3's O(log n) w.h.p. degree ceiling with an explicit constant.
+
+    The paper leaves the constant implicit; empirically ``4*log2(n)`` holds
+    across every configuration in the test suite.
+    """
+    return constant * math.log2(max(2, n))
+
+
+def whp_hops_envelope(n: int, constant: float = 3.0) -> float:
+    """Theorem 6's O(log n) w.h.p. routing-hops ceiling (explicit constant)."""
+    return constant * math.log2(max(2, n))
+
+
+def expected_intra_hops(c1: int, c2: int) -> float:
+    """Theorem 5's proof device: intra-domain hops across two domains.
+
+    Routing over domains with c1 then c2 nodes uses at most
+    ``0.5*log2(c1 + c2)`` intra-domain hops in those two domains combined.
+    """
+    if c1 + c2 < 2:
+        return 0.0
+    return 0.5 * math.log2(c1 + c2)

@@ -1,0 +1,42 @@
+"""Core building blocks: ID spaces, the conceptual hierarchy, link tables,
+and the greedy routing engines shared by every DHT construction."""
+
+from .hierarchy import (
+    ROOT,
+    Domain,
+    DomainPath,
+    Hierarchy,
+    build_uniform_hierarchy,
+    format_name,
+    hierarchy_from_names,
+    lca,
+    lca_depth,
+    parse_name,
+    zipf_weights,
+)
+from .idspace import DEFAULT_BITS, IdSpace
+from .network import DHTNetwork, edges
+from .routing import Route, route, route_ring, route_ring_lookahead, route_xor
+
+__all__ = [
+    "ROOT",
+    "DEFAULT_BITS",
+    "Domain",
+    "DomainPath",
+    "DHTNetwork",
+    "Hierarchy",
+    "IdSpace",
+    "Route",
+    "build_uniform_hierarchy",
+    "edges",
+    "format_name",
+    "hierarchy_from_names",
+    "lca",
+    "lca_depth",
+    "parse_name",
+    "route",
+    "route_ring",
+    "route_ring_lookahead",
+    "route_xor",
+    "zipf_weights",
+]

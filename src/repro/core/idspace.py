@@ -1,0 +1,143 @@
+"""Identifier spaces and distance metrics.
+
+Every DHT in this package lives in an N-bit identifier space.  Chord-family
+networks (Chord, Crescendo, Symphony, Cacophony, nondeterministic Chord)
+measure *clockwise ring distance*; Kademlia-family networks (Kademlia, Kandy)
+and the hypercube networks (CAN, Can-Can) measure *XOR distance*.
+
+The paper uses 32-bit identifiers for all experiments (Section 5.1); that is
+the default here, but every construction is parameterised on the bit width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+DEFAULT_BITS = 32
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """An N-bit circular identifier space ``[0, 2**bits)``.
+
+    Provides the two distance metrics used by the paper's DHT families and
+    deterministic key hashing.  Instances are immutable and cheap; share one
+    per network.
+    """
+
+    bits: int = DEFAULT_BITS
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+
+    @property
+    def size(self) -> int:
+        """Number of identifiers in the space (``2**bits``)."""
+        return 1 << self.bits
+
+    def contains(self, ident: int) -> bool:
+        """Whether ``ident`` is a valid identifier in this space."""
+        return 0 <= ident < self.size
+
+    def validate(self, ident: int) -> int:
+        """Return ``ident`` unchanged, raising ``ValueError`` if out of range."""
+        if not self.contains(ident):
+            raise ValueError(f"identifier {ident!r} outside [0, 2**{self.bits})")
+        return ident
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Clockwise distance from ``src`` to ``dst`` on the ring.
+
+        This is the (asymmetric) Chord metric: the number of steps clockwise
+        from ``src``'s position to ``dst``'s.
+        """
+        return (dst - src) % self.size
+
+    def xor_distance(self, a: int, b: int) -> int:
+        """Kademlia's symmetric XOR metric."""
+        return a ^ b
+
+    def add(self, ident: int, delta: int) -> int:
+        """``ident + delta`` wrapped around the ring."""
+        return (ident + delta) % self.size
+
+    def hash_key(self, key: object) -> int:
+        """Deterministically hash an application key into the ID space.
+
+        Uses SHA-1 (as Chord does) truncated to ``bits`` bits.  Accepts any
+        object with a stable ``str`` representation; bytes are hashed as-is.
+        """
+        raw = key if isinstance(key, bytes) else str(key).encode("utf-8")
+        digest = hashlib.sha1(raw).digest()
+        return int.from_bytes(digest, "big") % self.size
+
+    def random_id(self, rng) -> int:
+        """Draw an identifier uniformly at random using ``rng``.
+
+        ``rng`` may be a ``random.Random`` or ``numpy.random.Generator``; only
+        a ``randrange``-like or ``integers``-like method is required.
+        """
+        if hasattr(rng, "randrange"):
+            return rng.randrange(self.size)
+        return int(rng.integers(self.size))
+
+    def random_ids(self, count: int, rng) -> List[int]:
+        """Draw ``count`` distinct identifiers uniformly at random."""
+        if count > self.size:
+            raise ValueError(f"cannot draw {count} distinct ids from 2**{self.bits}")
+        seen = set()
+        out: List[int] = []
+        while len(out) < count:
+            ident = self.random_id(rng)
+            if ident not in seen:
+                seen.add(ident)
+                out.append(ident)
+        return out
+
+    def top_bit(self, value: int) -> int:
+        """Index of the most significant set bit of ``value`` (-1 for zero)."""
+        return value.bit_length() - 1
+
+    def prefix(self, ident: int, length: int) -> int:
+        """The top ``length`` bits of ``ident`` as an integer group ID."""
+        if not 0 <= length <= self.bits:
+            raise ValueError(f"prefix length {length} outside [0, {self.bits}]")
+        return ident >> (self.bits - length)
+
+
+def successor_index(sorted_ids: Sequence[int], target: int) -> int:
+    """Index of the first id >= ``target`` in ``sorted_ids``, cyclically.
+
+    ``sorted_ids`` must be sorted ascending.  Returns 0 when ``target`` is
+    larger than every element (wrap-around).  This is the primitive behind
+    "the closest node at least distance d away" in every ring construction.
+    """
+    lo, hi = 0, len(sorted_ids)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sorted_ids[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo % len(sorted_ids)
+
+
+def predecessor_index(sorted_ids: Sequence[int], target: int) -> int:
+    """Index of the last id <= ``target`` in ``sorted_ids``, cyclically.
+
+    This identifies the node *responsible* for a key under the paper's
+    inverted responsibility rule (Section 4.1 footnote): a node manages keys
+    in ``[own id, next id)``.
+    """
+    idx = successor_index(sorted_ids, target)
+    if sorted_ids[idx] == target:
+        return idx
+    return (idx - 1) % len(sorted_ids)
+
+
+def sorted_unique(ids: Iterable[int]) -> List[int]:
+    """Sorted list of distinct ids (construction helper)."""
+    return sorted(set(ids))

@@ -1,0 +1,140 @@
+"""Static network representation shared by every DHT construction.
+
+A built DHT is represented as an explicit out-link table over node
+identifiers.  Node identity *is* the DHT identifier (an integer in the ID
+space); the conceptual hierarchy is carried alongside and maps each id to its
+leaf domain.
+
+The static ("oracle") constructions in :mod:`repro.dhts` fill these tables
+directly; the message-level simulator in :mod:`repro.simulation` builds the
+same tables through protocol messages and is cross-checked against the
+oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .hierarchy import Hierarchy, ROOT
+from .idspace import IdSpace, predecessor_index, successor_index
+
+
+class DHTNetwork:
+    """Base class: an ID space, a hierarchy, and a per-node link table.
+
+    Subclasses implement :meth:`build` to populate ``links`` according to
+    their construction rule.  ``metric`` declares which greedy routing engine
+    applies ("ring" for Chord-family networks, "xor" for Kademlia-family).
+    """
+
+    metric = "ring"
+
+    def __init__(self, space: IdSpace, hierarchy: Hierarchy) -> None:
+        self.space = space
+        self.hierarchy = hierarchy
+        ids = hierarchy.sorted_members(ROOT)
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        for ident in ids:
+            space.validate(ident)
+        self.node_ids: List[int] = list(ids)
+        self._id_set: Set[int] = set(ids)
+        # Out-links only; the paper's degree figures count these.
+        self.links: Dict[int, List[int]] = {i: [] for i in ids}
+        self._built = False
+
+    # ------------------------------------------------------------- building
+
+    def build(self) -> "DHTNetwork":
+        """Populate the link table.  Returns ``self`` for chaining."""
+        raise NotImplementedError
+
+    def _finalize_links(self, link_sets: Dict[int, Set[int]]) -> None:
+        """Install link sets, deduplicated, self-links removed, sorted by id.
+
+        Sorting by identifier lets the greedy routing engines take each step
+        with a binary search instead of a scan.
+        """
+        for node, targets in link_sets.items():
+            targets.discard(node)
+            self.links[node] = sorted(targets)
+        self._built = True
+
+    def require_built(self) -> None:
+        """Raise unless :meth:`build` has completed."""
+        if not self._built:
+            raise RuntimeError(
+                f"{type(self).__name__} has not been built; call .build() first"
+            )
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._id_set
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Out-neighbors of a node, sorted by identifier."""
+        return self.links[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Out-degree (the paper's "number of links"; in-links not counted)."""
+        return len(self.links[node_id])
+
+    def degrees(self) -> List[int]:
+        """Out-degrees of all nodes, in node-id order."""
+        return [len(self.links[i]) for i in self.node_ids]
+
+    def average_degree(self) -> float:
+        """Mean out-degree (the y-axis of the paper's Figure 3)."""
+        return sum(self.degrees()) / max(1, self.size)
+
+    def degree_distribution(self) -> Dict[int, float]:
+        """PDF of node degree (Figure 4 of the paper)."""
+        counts = Counter(self.degrees())
+        total = float(self.size)
+        return {deg: cnt / total for deg, cnt in sorted(counts.items())}
+
+    def max_degree(self) -> int:
+        """Largest out-degree (Theorem 3's w.h.p. subject)."""
+        return max(self.degrees(), default=0)
+
+    # ---------------------------------------------------------- ring lookups
+
+    def successor(self, ident: int, within: Optional[Sequence[int]] = None) -> int:
+        """First node id >= ``ident`` clockwise (optionally within a domain list)."""
+        ids = self.node_ids if within is None else within
+        return ids[successor_index(ids, ident)]
+
+    def responsible_node(self, key: int, within: Optional[Sequence[int]] = None) -> int:
+        """The node managing ``key``: last node id <= key, cyclically.
+
+        Implements the paper's inverted responsibility rule (Section 4.1
+        footnote): a node is responsible for keys in ``[own id, next id)``.
+        """
+        ids = self.node_ids if within is None else within
+        return ids[predecessor_index(ids, key)]
+
+    # ------------------------------------------------------------ invariants
+
+    def check_links_valid(self) -> None:
+        """Every link target exists and no node links to itself."""
+        self.require_built()
+        for node, targets in self.links.items():
+            for target in targets:
+                if target == node:
+                    raise AssertionError(f"node {node} links to itself")
+                if target not in self._id_set:
+                    raise AssertionError(f"node {node} links to unknown {target}")
+
+
+def edges(network: DHTNetwork) -> Iterable[tuple]:
+    """All directed (src, dst) link pairs of a built network."""
+    network.require_built()
+    for node in network.node_ids:
+        for target in network.links[node]:
+            yield (node, target)

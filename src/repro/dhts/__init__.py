@@ -1,0 +1,37 @@
+"""DHT constructions: the flat baselines and their Canonical versions.
+
+Flat:  Chord, Symphony, nondeterministic Chord, Kademlia, CAN.
+Canon: Crescendo, Cacophony, ND-Crescendo, Kandy, Can-Can — plus the
+Section 3.5 mixed-level variant (complete-graph LANs under Crescendo).
+"""
+
+from .cacophony import CacophonyNetwork
+from .can import CANNetwork, PrefixId, PrefixTree, build_can
+from .cancan import CanCanNetwork, build_cancan
+from .chord import ChordNetwork
+from .crescendo import CrescendoNetwork
+from .kademlia import KademliaNetwork
+from .kandy import KandyNetwork
+from .mixed import LanCrescendoNetwork
+from .naive import NaiveHierarchicalChord
+from .ndchord import NDChordNetwork, NDCrescendoNetwork
+from .symphony import SymphonyNetwork
+
+__all__ = [
+    "CANNetwork",
+    "CacophonyNetwork",
+    "CanCanNetwork",
+    "ChordNetwork",
+    "CrescendoNetwork",
+    "KademliaNetwork",
+    "KandyNetwork",
+    "LanCrescendoNetwork",
+    "NaiveHierarchicalChord",
+    "NDChordNetwork",
+    "NDCrescendoNetwork",
+    "PrefixId",
+    "PrefixTree",
+    "SymphonyNetwork",
+    "build_can",
+    "build_cancan",
+]

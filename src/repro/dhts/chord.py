@@ -1,0 +1,101 @@
+"""Flat Chord (Stoica et al., SIGCOMM 2001) — the paper's primary baseline.
+
+Each node with identifier ``m`` maintains a link to the closest node at least
+clockwise distance ``2**k`` away, for each ``0 <= k < N`` (Section 2.1).
+Routing is greedy clockwise (:func:`repro.core.routing.route_ring`).
+
+Theorem 1 of the paper: expected node degree is at most ``log2(n-1) + 1``.
+Theorem 4: expected routing hops are at most ``0.5*log2(n-1) + 0.5``.
+Both are validated empirically in ``tests/test_theorems.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy
+from ..core.idspace import IdSpace, successor_index
+from ..core.network import DHTNetwork
+
+
+def ring_finger_targets(node_id: int, space: IdSpace) -> List[int]:
+    """Chord finger targets ``(m + 2**k) mod 2**N`` for ``0 <= k < N``."""
+    return [space.add(node_id, 1 << k) for k in range(space.bits)]
+
+
+def finger_links(node_id: int, sorted_ids: List[int], space: IdSpace) -> Set[int]:
+    """Distinct Chord links of ``node_id`` over the given sorted ring members.
+
+    For each ``k``, the link target is the cyclic successor of
+    ``node_id + 2**k`` among ``sorted_ids``; when that successor is the node
+    itself no other node lies at distance >= 2**k, and no link is formed.
+    """
+    links: Set[int] = set()
+    for target in ring_finger_targets(node_id, space):
+        succ = sorted_ids[successor_index(sorted_ids, target)]
+        if succ != node_id:
+            links.add(succ)
+    return links
+
+
+def bulk_finger_links(
+    sorted_ids: np.ndarray, space: IdSpace
+) -> Dict[int, Set[int]]:
+    """Vectorised :func:`finger_links` for every member of a ring at once."""
+    n = len(sorted_ids)
+    if n <= 1:
+        return {int(i): set() for i in sorted_ids}
+    ks = (np.uint64(1) << np.arange(space.bits, dtype=np.uint64))
+    targets = (sorted_ids[:, None].astype(np.uint64) + ks[None, :]) % np.uint64(
+        space.size
+    )
+    idx = np.searchsorted(sorted_ids, targets)
+    idx[idx == n] = 0
+    succ = sorted_ids[idx]
+    out: Dict[int, Set[int]] = {}
+    for row, node in enumerate(sorted_ids):
+        node = int(node)
+        out[node] = {int(s) for s in succ[row] if int(s) != node}
+    return out
+
+
+class ChordNetwork(DHTNetwork):
+    """A flat Chord ring over every node in the hierarchy.
+
+    The hierarchy is ignored for link construction (flat design); it is still
+    carried so the analysis layer can measure Chord's (lack of) path locality
+    against the same placements used for Crescendo.
+    """
+
+    metric = "ring"
+
+    def __init__(
+        self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True
+    ) -> None:
+        super().__init__(space, hierarchy)
+        self.use_numpy = use_numpy
+
+    def build(self) -> "ChordNetwork":
+        """Populate the link table per this construction's rule."""
+        if self.use_numpy and self.size > 64:
+            arr = np.array(self.node_ids, dtype=np.uint64)
+            link_sets = bulk_finger_links(arr, self.space)
+        else:
+            link_sets = {
+                node: finger_links(node, self.node_ids, self.space)
+                for node in self.node_ids
+            }
+        self._finalize_links(link_sets)
+        return self
+
+    def successor_list(self, node_id: int, length: int = 4) -> List[int]:
+        """The node's leaf set: its next ``length`` successors on the ring.
+
+        Used for failure repair; per Section 2.3 these are not counted as
+        links.
+        """
+        ids = self.node_ids
+        pos = successor_index(ids, self.space.add(node_id, 1))
+        return [ids[(pos + i) % len(ids)] for i in range(min(length, len(ids) - 1))]

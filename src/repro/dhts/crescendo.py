@@ -1,0 +1,213 @@
+"""Crescendo — the Canonical (hierarchical) version of Chord (Section 2).
+
+Construction.  Every node draws a random N-bit identifier.  The nodes of each
+*leaf* domain form a standard Chord ring among themselves.  Moving bottom-up,
+the ring of an internal domain is obtained by *merging* its children's rings:
+each node ``m`` retains all its existing links and additionally links to a
+node ``m'`` outside its own (child) ring if and only if
+
+  (a) ``m'`` is the closest node at least distance ``2**k`` away for some
+      ``0 <= k < N``, applied over the union of the sibling rings, and
+  (b) ``m'`` is closer to ``m`` than any node in ``m``'s own ring.
+
+Because condition (b) bounds new links by the clockwise distance to ``m``'s
+successor in its own ring, the links added at a merge are exactly the union
+fingers that land strictly inside that gap — nodes of ``m``'s own ring can
+never satisfy it, so no own-ring test is needed.
+
+Routing is plain greedy clockwise routing (Section 2.2): it is *naturally
+hierarchical*, with two structural guarantees validated in the test suite:
+
+- **Locality of intra-domain paths**: a route between two nodes never leaves
+  their lowest common domain.
+- **Convergence of inter-domain paths**: all routes from inside a domain D to
+  a destination x outside D exit D through the closest predecessor of x
+  within D.
+
+Theorem 2: expected degree is at most ``log2(n-1) + min(l, log2 n)`` for an
+l-level hierarchy (empirically it is *below* Chord's and decreases with l).
+Theorem 5: expected routing hops are at most ``log2(n-1) + 1`` irrespective
+of the hierarchy (empirically ~``0.5*log2 n + c``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.hierarchy import DomainPath, Hierarchy
+from ..core.idspace import IdSpace, successor_index
+from ..core.network import DHTNetwork
+
+
+class CrescendoNetwork(DHTNetwork):
+    """Static (oracle) construction of a Crescendo ring.
+
+    ``use_numpy`` selects the vectorised bulk builder (preferred for the
+    paper-scale 32K-65K node runs); the pure-Python path is the reference
+    implementation and the two are cross-checked by property tests.
+    """
+
+    metric = "ring"
+
+    def __init__(
+        self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True
+    ) -> None:
+        super().__init__(space, hierarchy)
+        self.use_numpy = use_numpy
+        #: Per node: clockwise distance to its own-ring successor, updated as
+        #: rings merge; exposed for analysis and invariant checks.
+        self.gap: Dict[int, int] = {}
+        #: Per node: successor at each of its levels, leaf domain first
+        #: (the per-level leaf sets of Section 2.3, not counted as links).
+        self.level_successors: Dict[int, List[int]] = {}
+
+    # ---------------------------------------------------------------- build
+
+    def build(self) -> "CrescendoNetwork":
+        """Populate the link table per this construction's rule."""
+        link_sets: Dict[int, Set[int]] = {node: set() for node in self.node_ids}
+        self.gap = {node: self.space.size for node in self.node_ids}
+        self.level_successors = {node: [] for node in self.node_ids}
+        depth_of = {node: len(self.hierarchy.path_of(node)) for node in self.node_ids}
+
+        domains = sorted(self.hierarchy.domains(), key=lambda d: -d.depth)
+        for domain in domains:
+            members = self.hierarchy.sorted_members(domain.path)
+            if not members:
+                continue
+            leaf_nodes = [m for m in members if depth_of[m] == domain.depth]
+            merge_nodes = [m for m in members if depth_of[m] > domain.depth]
+            if domain.depth == 0:
+                # Hook point: proximity-adapted variants replace the top-level
+                # merge with group-based construction (Section 3.6).
+                self._build_top_domain(members, leaf_nodes, merge_nodes, link_sets)
+            elif self.use_numpy and len(members) > 64:
+                self._build_domain_numpy(members, leaf_nodes, merge_nodes, link_sets)
+            else:
+                self._build_domain_python(members, leaf_nodes, merge_nodes, link_sets)
+            self._record_level(members)
+
+        self._finalize_links(link_sets)
+        return self
+
+    def _build_top_domain(
+        self,
+        members: List[int],
+        leaf_nodes: List[int],
+        merge_nodes: List[int],
+        link_sets: Dict[int, Set[int]],
+    ) -> None:
+        """Top-level (root) merge; the default is the ordinary Canon merge."""
+        if self.use_numpy and len(members) > 64:
+            self._build_domain_numpy(members, leaf_nodes, merge_nodes, link_sets)
+        else:
+            self._build_domain_python(members, leaf_nodes, merge_nodes, link_sets)
+
+    def _record_level(self, members: List[int]) -> None:
+        """Record each member's successor in this ring (its new leaf set)."""
+        count = len(members)
+        for pos, node in enumerate(members):
+            succ = members[(pos + 1) % count]
+            self.level_successors[node].append(succ)
+            self.gap[node] = (
+                self.space.ring_distance(node, succ) if succ != node else self.space.size
+            )
+
+    def _build_domain_python(
+        self,
+        members: List[int],
+        leaf_nodes: List[int],
+        merge_nodes: List[int],
+        link_sets: Dict[int, Set[int]],
+    ) -> None:
+        space = self.space
+        for node in leaf_nodes:
+            # First ring for this node: full Chord fingers within the domain.
+            for k in range(space.bits):
+                target = space.add(node, 1 << k)
+                succ = members[successor_index(members, target)]
+                if succ != node:
+                    link_sets[node].add(succ)
+        for node in merge_nodes:
+            # Merge: union fingers strictly inside the node's own-ring gap.
+            gap = self.gap[node]
+            k = 0
+            while (1 << k) < gap and k < space.bits:
+                target = space.add(node, 1 << k)
+                succ = members[successor_index(members, target)]
+                if succ != node:
+                    dist = space.ring_distance(node, succ)
+                    if dist < gap:
+                        link_sets[node].add(succ)
+                k += 1
+
+    def _build_domain_numpy(
+        self,
+        members: List[int],
+        leaf_nodes: List[int],
+        merge_nodes: List[int],
+        link_sets: Dict[int, Set[int]],
+    ) -> None:
+        space = self.space
+        arr = np.array(members, dtype=np.uint64)
+        size = np.uint64(space.size)
+        ks = np.uint64(1) << np.arange(space.bits, dtype=np.uint64)
+
+        def fingers(nodes: List[int]) -> Tuple[np.ndarray, np.ndarray]:
+            base = np.array(nodes, dtype=np.uint64)
+            targets = (base[:, None] + ks[None, :]) % size
+            idx = np.searchsorted(arr, targets)
+            idx[idx == len(arr)] = 0
+            succ = arr[idx]
+            dist = (succ - base[:, None]) % size
+            return succ, dist
+
+        if leaf_nodes:
+            succ, dist = fingers(leaf_nodes)
+            for row, node in enumerate(leaf_nodes):
+                link_sets[node].update(
+                    int(s) for s, d in zip(succ[row], dist[row]) if d != 0
+                )
+        if merge_nodes:
+            succ, dist = fingers(merge_nodes)
+            gaps = np.array([self.gap[m] for m in merge_nodes], dtype=np.uint64)
+            keep = (dist != 0) & (dist < gaps[:, None]) & (ks[None, :] < gaps[:, None])
+            for row, node in enumerate(merge_nodes):
+                link_sets[node].update(int(s) for s in succ[row][keep[row]])
+
+    # -------------------------------------------------------------- queries
+
+    def levels_of(self, node_id: int) -> int:
+        """Number of rings the node belongs to (its leaf depth + 1)."""
+        return len(self.hierarchy.path_of(node_id)) + 1
+
+    def successor_at_level(self, node_id: int, depth: int) -> Optional[int]:
+        """The node's successor in its depth-``depth`` ancestor ring.
+
+        ``depth`` counts from the root (0 = global ring).  Returns ``None``
+        when the node has no ring at that depth.
+        """
+        chain = self.level_successors.get(node_id)
+        if chain is None:
+            self.require_built()
+            return None
+        leaf_depth = len(self.hierarchy.path_of(node_id))
+        # chain is recorded deepest-first: chain[0] is the leaf-domain ring.
+        index = leaf_depth - depth
+        if not 0 <= index < len(chain):
+            return None
+        return chain[index]
+
+    def exit_node(self, domain: DomainPath, dest_key: int) -> int:
+        """The common exit point for routes from ``domain`` to ``dest_key``.
+
+        By the convergence property (Section 2.2) this is the closest
+        predecessor of the destination within the domain — also the proxy
+        node used for caching (Section 4.2).
+        """
+        members = self.hierarchy.sorted_members(domain)
+        if not members:
+            raise ValueError(f"domain {domain!r} has no members")
+        return self.responsible_node(dest_key, within=members)

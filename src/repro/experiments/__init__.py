@@ -1,0 +1,43 @@
+"""One module per paper figure/table (Section 5), each exposing
+
+- ``run(scale) -> Table``: the paper-style result rows, and
+- ``measurements(scale) -> dict``: raw numbers for programmatic assertions.
+
+Run from the command line: ``python -m repro.experiments fig5 --scale small``.
+"""
+
+from . import (
+    ablations,
+    caching_study,
+    churn_study,
+    fig3_links,
+    fig4_degree_pdf,
+    fig5_hops,
+    fig6_stretch,
+    fig7_locality,
+    fig8_overlap,
+    fig9_multicast,
+    inflight_study,
+    isolation_study,
+    theorems,
+    zoo,
+)
+
+EXPERIMENTS = {
+    "ablations": ablations,
+    "caching": caching_study,
+    "churn": churn_study,
+    "fig3": fig3_links,
+    "fig4": fig4_degree_pdf,
+    "fig5": fig5_hops,
+    "fig6": fig6_stretch,
+    "fig7": fig7_locality,
+    "fig8": fig8_overlap,
+    "fig9": fig9_multicast,
+    "inflight": inflight_study,
+    "isolation": isolation_study,
+    "theorems": theorems,
+    "zoo": zoo,
+}
+
+__all__ = ["EXPERIMENTS"]

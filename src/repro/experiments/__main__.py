@@ -1,0 +1,71 @@
+"""CLI: regenerate any of the paper's figures/tables.
+
+Examples::
+
+    python -m repro.experiments fig3 --scale small
+    python -m repro.experiments all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Canon paper's evaluation figures/tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report", "export"],
+        help="which figure to regenerate ('all' runs every one; 'report' "
+        "writes RESULTS.md; 'export' writes one CSV per experiment)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("smoke", "small", "paper"),
+        help="parameter grid: smoke (seconds), small (default), paper (full grid)",
+    )
+    parser.add_argument(
+        "--out",
+        default="RESULTS.md",
+        help="output path for the 'report' command (default RESULTS.md)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .report import generate
+
+        generate(args.scale, args.out)
+        print(f"wrote {args.out} ({args.scale} scale)")
+        return 0
+
+    if args.experiment == "export":
+        from pathlib import Path
+
+        out_dir = Path(args.out if args.out != "RESULTS.md" else "results")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name in sorted(EXPERIMENTS):
+            table = EXPERIMENTS[name].run(args.scale)
+            path = out_dir / f"{name}.csv"
+            path.write_text(table.to_csv() + "\n")
+            print(f"wrote {path}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        table = EXPERIMENTS[name].run(args.scale)
+        print(table.render())
+        print(f"[{name} @ {args.scale}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Figure 3: average number of links per node vs network size.
+
+Paper result: the average degree stays extremely close to log2(n) regardless
+of the number of hierarchy levels, and *decreases slightly* as levels are
+added (a Jensen's-inequality effect on the inter-domain link count).
+Chord is the levels=1 row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..analysis.tables import Table
+from .common import Scale, build_crescendo, get_scale, seeded_rng
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 3 table (avg #links/node vs n)."""
+    cfg = get_scale(scale)
+    table = Table(
+        "Figure 3 — Avg #links/node (fan-out 10, Zipf(1.25) hierarchy)",
+        ["n", "log2(n)"] + [f"levels={lv}" for lv in cfg.fig3_levels],
+    )
+    for size in cfg.fig3_sizes:
+        row: list = [size, math.log2(size)]
+        for levels in cfg.fig3_levels:
+            net = build_crescendo(size, levels, seeded_rng("fig3", size, levels))
+            row.append(net.average_degree())
+        table.add_row(*row)
+    return table
+
+
+def measurements(scale: str = "small") -> Dict[Tuple[int, int], float]:
+    """(n, levels) -> average degree, for programmatic assertions."""
+    cfg = get_scale(scale)
+    out: Dict[Tuple[int, int], float] = {}
+    for size in cfg.fig3_sizes:
+        for levels in cfg.fig3_levels:
+            net = build_crescendo(size, levels, seeded_rng("fig3", size, levels))
+            out[(size, levels)] = net.average_degree()
+    return out

@@ -1,0 +1,49 @@
+"""Figure 5: average number of routing hops vs network size.
+
+Paper result: hops are ~0.5*log2(n) + c for a small constant c that grows
+with hierarchy depth, by at most 0.7 regardless of the number of levels —
+routing in Crescendo is almost as efficient as in flat Chord.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from ..analysis.metrics import sample_routing
+from ..analysis.tables import Table
+from .common import build_crescendo, get_scale, seeded_rng
+
+
+def measurements(scale: str = "small") -> Dict[Tuple[int, int], float]:
+    """(n, levels) -> mean routing hops."""
+    cfg = get_scale(scale)
+    out: Dict[Tuple[int, int], float] = {}
+    for size in cfg.fig3_sizes:
+        for levels in cfg.fig3_levels:
+            rng = seeded_rng("fig5", size, levels)
+            net = build_crescendo(size, levels, rng)
+            stats = sample_routing(net, rng, samples=cfg.route_samples)
+            if stats.success_rate != 1.0:
+                raise AssertionError(
+                    f"routing failures at n={size}, levels={levels}"
+                )
+            out[(size, levels)] = stats.mean_hops
+    return out
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 5 table (avg routing hops vs n)."""
+    cfg = get_scale(scale)
+    data = measurements(scale)
+    table = Table(
+        "Figure 5 — Avg #routing hops (greedy clockwise)",
+        ["n", "0.5*log2(n)"] + [f"levels={lv}" for lv in cfg.fig3_levels],
+    )
+    for size in cfg.fig3_sizes:
+        table.add_row(
+            size,
+            0.5 * math.log2(size),
+            *(data[(size, levels)] for levels in cfg.fig3_levels),
+        )
+    return table

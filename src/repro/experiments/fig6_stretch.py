@@ -1,0 +1,65 @@
+"""Figure 6: routing latency and stretch on the transit-stub internet model.
+
+Four systems: Chord and Crescendo, each with and without group-based
+proximity adaptation.  Paper result: plain Chord's latency grows linearly in
+log n (stretch 4.5 -> 8); plain Crescendo achieves near-constant stretch
+(~2.7) because extra nodes only deepen the *local* rings; Chord (Prox.)
+improves but still scales with log n; Crescendo (Prox.) is best and constant
+(~1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..analysis.metrics import stretch
+from ..analysis.tables import Table
+from ..core.routing import route_ring
+from ..proximity.groups import route_grouped
+from .common import build_topology_setup, get_scale, seeded_rng
+
+SYSTEMS = (
+    ("Chord (No Prox.)", "chord", route_ring),
+    ("Crescendo (No Prox.)", "crescendo", route_ring),
+    ("Chord (Prox.)", "chord_prox", route_grouped),
+    ("Crescendo (Prox.)", "crescendo_prox", route_grouped),
+)
+
+
+def measurements(scale: str = "small") -> Dict[Tuple[str, int], Tuple[float, float]]:
+    """(system, n) -> (stretch, mean latency ms)."""
+    cfg = get_scale(scale)
+    out: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for size in cfg.fig6_sizes:
+        setup = build_topology_setup(size, "fig6")
+        rng = seeded_rng("fig6-route", size)
+        for label, attr, router in SYSTEMS:
+            net = getattr(setup, attr)
+            out[(label, size)] = stretch(
+                net,
+                rng,
+                setup.latency,
+                setup.direct_latency,
+                samples=cfg.route_samples,
+                router=router,
+            )
+    return out
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 6 table (latency and stretch)."""
+    cfg = get_scale(scale)
+    data = measurements(scale)
+    table = Table(
+        "Figure 6 — Latency and stretch on the transit-stub model",
+        ["n"]
+        + [f"{label} stretch" for label, _, _ in SYSTEMS]
+        + [f"{label} ms" for label, _, _ in SYSTEMS],
+    )
+    for size in cfg.fig6_sizes:
+        table.add_row(
+            size,
+            *(data[(label, size)][0] for label, _, _ in SYSTEMS),
+            *(data[(label, size)][1] for label, _, _ in SYSTEMS),
+        )
+    return table

@@ -1,0 +1,64 @@
+"""Figure 7: query latency as a function of query locality.
+
+A "Top Level" query targets content anywhere in the system; a "Level 1"
+query targets content within the source's transit domain; down to "Level 4"
+(the source's own stub node).  Paper result: Crescendo's latency collapses
+as locality rises (virtually zero by Level 3) while Chord — even with
+proximity adaptation — barely improves, because flat routing has no path
+locality.  Plain Chord is an order of magnitude worse and is omitted from
+the paper's plot; we include it for completeness.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Tuple
+
+from ..analysis.tables import Table
+from ..core.routing import route_ring
+from ..proximity.groups import route_grouped
+from ..workloads.queries import locality_pair
+from .common import build_topology_setup, get_scale, seeded_rng
+
+SYSTEMS = (
+    ("Chord (Prox.)", "chord_prox", route_grouped),
+    ("Crescendo (No Prox.)", "crescendo", route_ring),
+    ("Crescendo (Prox.)", "crescendo_prox", route_grouped),
+)
+
+LEVELS = (0, 1, 2, 3, 4)  # 0 == "Top Level"
+
+
+def measurements(scale: str = "small") -> Dict[Tuple[str, int], float]:
+    """(system, locality level) -> mean query latency (ms)."""
+    cfg = get_scale(scale)
+    setup = build_topology_setup(cfg.fig7_size, "fig7")
+    out: Dict[Tuple[str, int], float] = {}
+    for level in LEVELS:
+        rng = seeded_rng("fig7", level)
+        pairs = [
+            locality_pair(setup.hierarchy, setup.node_ids, rng, level)
+            for _ in range(cfg.route_samples)
+        ]
+        for label, attr, router in SYSTEMS:
+            net = getattr(setup, attr)
+            latencies: List[float] = []
+            for src, dst in pairs:
+                result = router(net, src, dst)
+                if result.success and result.terminal == dst:
+                    latencies.append(result.latency(setup.latency))
+            out[(label, level)] = statistics.mean(latencies) if latencies else 0.0
+    return out
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 7 table (latency vs query locality)."""
+    data = measurements(scale)
+    table = Table(
+        "Figure 7 — Latency (ms) vs query locality level",
+        ["locality"] + [label for label, _, _ in SYSTEMS],
+    )
+    for level in LEVELS:
+        name = "Top Level" if level == 0 else f"Level {level}"
+        table.add_row(name, *(data[(label, level)] for label, _, _ in SYSTEMS))
+    return table

@@ -1,0 +1,80 @@
+"""Figure 8: hop and latency overlap fraction vs domain level.
+
+A random node r issues a query Q for a random key along path P; a second
+node drawn from r's level-L domain issues the same query along path P'.
+The overlap fraction of P' with P (the converged common suffix) measures the
+bandwidth/latency a cached answer on P would save.  Paper result: the
+overlap is near zero for Chord (Prox.) at every level, and rises strongly
+with domain level for Crescendo (higher for latency than for hops, since the
+non-overlapping local hops are cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.overlap import mean_overlap
+from ..analysis.tables import Table
+from ..core.routing import route_ring
+from ..proximity.groups import route_grouped
+from .common import build_topology_setup, get_scale, seeded_rng
+
+SYSTEMS = (
+    ("Crescendo", "crescendo", route_ring),
+    ("Chord (Prox.)", "chord_prox", route_grouped),
+)
+
+LEVELS = (0, 1, 2, 3, 4)  # 0 == "Top Level" (second node drawn from anywhere)
+
+
+def measurements(
+    scale: str = "small",
+) -> Dict[Tuple[str, int], Tuple[float, float]]:
+    """(system, domain level) -> (hop overlap fraction, latency overlap fraction)."""
+    cfg = get_scale(scale)
+    setup = build_topology_setup(cfg.fig7_size, "fig8")
+    hierarchy, ids = setup.hierarchy, setup.node_ids
+    out: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for level in LEVELS:
+        rng = seeded_rng("fig8", level)
+        scenarios: List[Tuple[int, int, int]] = []
+        for _ in range(cfg.route_samples):
+            first = rng.choice(ids)
+            path = hierarchy.path_of(first)
+            members = [
+                m for m in hierarchy.members(path[: min(level, len(path))]) if m != first
+            ]
+            if not members:
+                continue
+            second = rng.choice(members)
+            key = setup.space.random_id(rng)
+            scenarios.append((first, second, key))
+        for label, attr, router in SYSTEMS:
+            net = getattr(setup, attr)
+            pairs = []
+            for first, second, key in scenarios:
+                ref = router(net, first, key)
+                two = router(net, second, key)
+                if ref.success and two.success:
+                    pairs.append((ref.path, two.path))
+            hop_frac, lat_frac = mean_overlap(pairs, setup.latency)
+            out[(label, level)] = (hop_frac, lat_frac or 0.0)
+    return out
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 8 table (overlap fractions vs level)."""
+    data = measurements(scale)
+    table = Table(
+        "Figure 8 — Overlap fraction vs domain level",
+        ["domain level"]
+        + [f"{label} ({metric})" for label, _, _ in SYSTEMS for metric in ("hops", "latency")],
+    )
+    for level in LEVELS:
+        name = "Top Level" if level == 0 else f"Level {level}"
+        cells = []
+        for label, _, _ in SYSTEMS:
+            hop_frac, lat_frac = data[(label, level)]
+            cells.extend([hop_frac, lat_frac])
+        table.add_row(name, *cells)
+    return table

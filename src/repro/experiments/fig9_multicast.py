@@ -1,0 +1,62 @@
+"""Figure 9 (table): inter-domain links in a 1000-source multicast tree.
+
+1000 random sources route a query to one common random destination; the
+union of the paths is a multicast tree (data flows along the reversed query
+paths).  The table counts the tree's *inter-domain* links for domains
+defined at hierarchy levels 1-3.  Paper result (32K nodes): Crescendo uses
+only ~1/44 of Chord (Prox.)'s inter-domain links at the top level and ~15%
+at the stub-domain level (19/39/353.7 vs 884.9/1273.7/2502.7).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Tuple
+
+from ..analysis.tables import Table
+from ..core.routing import route_ring
+from ..proximity.groups import route_grouped
+from ..workloads.multicast import multicast_interdomain_profile
+from .common import build_topology_setup, get_scale, seeded_rng
+
+SYSTEMS = (
+    ("Crescendo", "crescendo", route_ring),
+    ("Chord (Prox.)", "chord_prox", route_grouped),
+)
+
+DEPTHS = (1, 2, 3)
+REPEATS = 3
+
+
+def measurements(scale: str = "small") -> Dict[Tuple[str, int], float]:
+    """(system, domain level) -> expected #inter-domain links in the tree."""
+    cfg = get_scale(scale)
+    setup = build_topology_setup(cfg.fig7_size, "fig9")
+    out: Dict[Tuple[str, int], list] = {
+        (label, depth): [] for label, _, _ in SYSTEMS for depth in DEPTHS
+    }
+    for repeat in range(REPEATS):
+        rng = seeded_rng("fig9", repeat)
+        sources = rng.sample(setup.node_ids, min(cfg.multicast_sources, len(setup.node_ids) - 1))
+        dest = rng.choice([n for n in setup.node_ids if n not in set(sources)])
+        for label, attr, router in SYSTEMS:
+            net = getattr(setup, attr)
+            profile = multicast_interdomain_profile(net, router, sources, dest, DEPTHS)
+            for depth, count in profile.items():
+                out[(label, depth)].append(count)
+    return {key: statistics.mean(vals) for key, vals in out.items()}
+
+
+def run(scale: str = "small") -> Table:
+    """Render the Figure 9 inter-domain-links table with ratios."""
+    data = measurements(scale)
+    table = Table(
+        "Figure 9 — #inter-domain links in the multicast tree",
+        ["domain level"] + [label for label, _, _ in SYSTEMS] + ["ratio"],
+    )
+    for depth in DEPTHS:
+        crescendo = data[("Crescendo", depth)]
+        chord = data[("Chord (Prox.)", depth)]
+        ratio = chord / crescendo if crescendo else float("inf")
+        table.add_row(depth, crescendo, chord, ratio)
+    return table

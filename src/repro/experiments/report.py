@@ -1,0 +1,34 @@
+"""One-shot report generation: every experiment, one markdown document.
+
+``python -m repro.experiments report --scale small`` regenerates all the
+paper's figures plus the ablation/caching/churn studies and writes them to
+``RESULTS.md`` — the raw material behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+
+def generate(scale: str = "smoke", out_path: Optional[str] = None) -> str:
+    """Run every registered experiment; return (and optionally write) markdown."""
+    from . import EXPERIMENTS
+
+    sections = [
+        "# Canon reproduction — measured results",
+        "",
+        f"Scale: `{scale}`.  Deterministic seeds; regenerate with "
+        f"`python -m repro.experiments report --scale {scale}`.",
+        "",
+    ]
+    for name in sorted(EXPERIMENTS):
+        start = time.time()
+        table = EXPERIMENTS[name].run(scale)
+        sections.append(table.to_markdown())
+        sections.append(f"\n*({name}: {time.time() - start:.1f}s)*\n")
+    text = "\n".join(sections)
+    if out_path is not None:
+        Path(out_path).write_text(text)
+    return text

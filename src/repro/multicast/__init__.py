@@ -1,0 +1,6 @@
+"""Application-level multicast service over Canon DHTs (the paper's §1
+motivating application; Figure 9 measures its inter-domain cost)."""
+
+from .service import DeliveryReport, MulticastService, Topic
+
+__all__ = ["DeliveryReport", "MulticastService", "Topic"]

@@ -1,0 +1,23 @@
+"""Physical-network proximity adaptation (Section 3.6): group-based
+construction for Chord (Prox.) and Crescendo (Prox.)."""
+
+from .sampling import best_of_sample, sampling_quality
+from .groups import (
+    DEFAULT_GROUP_TARGET,
+    DEFAULT_SAMPLE,
+    ProximityChordNetwork,
+    ProximityCrescendoNetwork,
+    group_prefix_bits,
+    route_grouped,
+)
+
+__all__ = [
+    "DEFAULT_GROUP_TARGET",
+    "DEFAULT_SAMPLE",
+    "ProximityChordNetwork",
+    "ProximityCrescendoNetwork",
+    "group_prefix_bits",
+    "route_grouped",
+    "best_of_sample",
+    "sampling_quality",
+]

@@ -1,0 +1,107 @@
+"""Churn workloads over the dynamic protocol (Section 2.3 in motion).
+
+Drives a :class:`~repro.simulation.protocol.SimulatedCrescendo` with
+interleaved joins, graceful leaves, crashes, periodic stabilization and
+application lookups on the virtual clock, and reports delivery rates and
+protocol traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.hierarchy import DomainPath
+from .protocol import SimulatedCrescendo
+
+
+@dataclass
+class ChurnConfig:
+    """Event mix for one churn run (counts, not rates: runs are bounded)."""
+
+    joins: int = 50
+    leaves: int = 25
+    crashes: int = 10
+    lookups: int = 200
+    #: stabilization rounds interleaved through the run.
+    stabilize_rounds: int = 5
+    duration: float = 1000.0
+
+
+@dataclass
+class ChurnReport:
+    lookups_attempted: int = 0
+    lookups_delivered: int = 0
+    join_messages: int = 0
+    leave_messages: int = 0
+    stabilize_messages: int = 0
+    lookup_messages: int = 0
+    final_population: int = 0
+    converged_to_oracle: bool = False
+
+    @property
+    def delivery_rate(self) -> float:
+        if not self.lookups_attempted:
+            return 1.0
+        return self.lookups_delivered / self.lookups_attempted
+
+
+def run_churn(
+    net: SimulatedCrescendo,
+    rng,
+    domain_paths: Sequence[DomainPath],
+    config: ChurnConfig = ChurnConfig(),
+) -> ChurnReport:
+    """Run an interleaved churn schedule; the network must be non-empty.
+
+    Events (joins, leaves, crashes, lookups, stabilize rounds) are shuffled
+    onto the virtual clock uniformly over ``config.duration``.  Lookups are
+    only counted against nodes alive at lookup time; a lookup is *delivered*
+    when it terminates at the live node responsible for the key.
+    """
+    if not net.nodes:
+        raise ValueError("bootstrap the network before running churn")
+    report = ChurnReport()
+
+    events: List[Tuple[float, int, str]] = []
+    for kind, count in (
+        ("join", config.joins),
+        ("leave", config.leaves),
+        ("crash", config.crashes),
+        ("lookup", config.lookups),
+    ):
+        events.extend((rng.random() * config.duration, i, kind) for i in range(count))
+    for i in range(config.stabilize_rounds):
+        events.append(((i + 1) * config.duration / (config.stabilize_rounds + 1), i, "stab"))
+    events.sort()
+
+    for when, _, kind in events:
+        live = [n for n, node in net.nodes.items() if node.alive]
+        if kind == "join":
+            new_id = net.space.random_id(rng)
+            while new_id in net.nodes:
+                new_id = net.space.random_id(rng)
+            path = domain_paths[rng.randrange(len(domain_paths))]
+            report.join_messages += net.join(new_id, path)
+        elif kind == "leave" and len(live) > 2:
+            report.leave_messages += net.leave(rng.choice(live))
+        elif kind == "crash" and len(live) > 2:
+            net.crash(rng.choice(live))
+        elif kind == "stab":
+            report.stabilize_messages += net.stabilize()
+        elif kind == "lookup" and len(live) >= 2:
+            src = rng.choice(live)
+            key = net.space.random_id(rng)
+            before = net.msgs.stats.counts["lookup"]
+            result = net.lookup(src, key)
+            report.lookup_messages += net.msgs.stats.counts["lookup"] - before
+            report.lookups_attempted += 1
+            report.lookups_delivered += bool(result.success)
+
+    try:
+        net.stabilize_to_convergence()
+        report.converged_to_oracle = True
+    except RuntimeError:
+        report.converged_to_oracle = False
+    report.final_population = len(net.nodes)
+    return report

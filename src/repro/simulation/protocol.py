@@ -1,0 +1,599 @@
+"""Dynamic maintenance for Crescendo (Section 2.3), message by message.
+
+A joining node knows one existing node in its lowest-level domain (or the
+deepest of its domains that is populated).  It routes a query for its own ID,
+reaching its predecessor at each level of the hierarchy; going from the
+lowest-level domain to the top it inserts itself after that predecessor,
+builds its links for that ring — using the predecessor's links as hints, so
+the total join traffic stays O(log n) — and notifies its successor.  Each
+node keeps a successor list (*leaf set*) **per level**; leaf sets are cheap,
+are not counted as links, and make the rings robust to departures.
+
+Fidelity note: protocol *logic* for one operation (a join, a leave, one
+stabilization round, one lookup) executes atomically at its event time —
+an RPC-level simulation.  Every node-to-node message is still individually
+counted and the operations themselves interleave on the virtual clock, which
+is what the paper's O(log n)-messages-per-join claim and the churn
+experiments need.  After membership quiesces, one stabilization round makes
+the link tables *exactly* equal to the static oracle construction
+(:class:`~repro.dhts.crescendo.CrescendoNetwork`) — the cross-check the test
+suite performs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.hierarchy import DomainPath, Hierarchy
+from ..core.idspace import IdSpace, predecessor_index
+from ..core.routing import MAX_HOPS, Route
+from .events import ConstantLatency, MessageLayer, Simulator
+
+DEFAULT_LEAF_SET = 4
+
+
+@dataclass
+class RingState:
+    """A node's view of one ring (one level of its domain chain)."""
+
+    predecessor: Optional[int] = None
+    successors: List[int] = field(default_factory=list)
+    fingers: Set[int] = field(default_factory=set)
+
+    @property
+    def successor(self) -> Optional[int]:
+        return self.successors[0] if self.successors else None
+
+
+class ProtocolNode:
+    """Protocol state of one live node."""
+
+    def __init__(self, node_id: int, path: DomainPath) -> None:
+        self.node_id = node_id
+        self.path = path
+        self.alive = True
+        #: depth -> ring view; depth runs 0 (global) .. len(path) (leaf ring).
+        self.rings: Dict[int, RingState] = {
+            depth: RingState() for depth in range(len(path) + 1)
+        }
+
+    @property
+    def leaf_depth(self) -> int:
+        return len(self.path)
+
+    def all_links(self) -> Set[int]:
+        """Union of fingers across rings (the node's actual out-links)."""
+        out: Set[int] = set()
+        for ring in self.rings.values():
+            out.update(ring.fingers)
+        out.discard(self.node_id)
+        return out
+
+    def routing_contacts(self) -> Set[int]:
+        """Links plus leaf-set entries (used for failure fallback)."""
+        out = self.all_links()
+        for ring in self.rings.values():
+            out.update(ring.successors)
+        out.discard(self.node_id)
+        return out
+
+
+class SimulatedCrescendo:
+    """A Crescendo network maintained dynamically through protocol messages."""
+
+    def __init__(
+        self,
+        space: IdSpace,
+        sim: Optional[Simulator] = None,
+        latency_model=None,
+        leaf_set_size: int = DEFAULT_LEAF_SET,
+    ) -> None:
+        self.space = space
+        self.sim = sim if sim is not None else Simulator()
+        self.msgs = MessageLayer(self.sim, latency_model or ConstantLatency())
+        self.leaf_set_size = leaf_set_size
+        self.nodes: Dict[int, ProtocolNode] = {}
+        self.hierarchy = Hierarchy()
+        #: observers implementing any of node_joined / node_leaving /
+        #: node_crashed / stabilized (see repro.simulation.data.DataLayer).
+        self.listeners: List = []
+
+    # --------------------------------------------------------------- helpers
+
+    def _ordered_leafset(self, node_id: int, entries: List[int]) -> List[int]:
+        """A leaf set: distinct live entries sorted by clockwise distance.
+
+        Keeping leaf sets distance-ordered means the head is always the
+        believed immediate successor, so a mis-informed joiner can never
+        displace a closer, correct entry.
+        """
+        cleaned = _dedup(entries, node_id)
+        cleaned.sort(key=lambda x: self.space.ring_distance(node_id, x))
+        return cleaned[: self.leaf_set_size]
+
+    def _count(self, kind: str, hops: int = 1) -> None:
+        for _ in range(hops):
+            self.msgs.stats.record(kind)
+
+    def _in_ring(self, node: ProtocolNode, prefix: DomainPath) -> bool:
+        return node.path[: len(prefix)] == prefix
+
+    def _gap(self, node: ProtocolNode, depth: int) -> int:
+        """Distance to the node's own-ring successor one level *below* ``depth``.
+
+        This is Canon condition (b)'s bound for the merge links of ring
+        ``depth``; the leaf ring has no lower ring, so the gap is unbounded.
+        """
+        if depth >= node.leaf_depth:
+            return self.space.size
+        lower = node.rings[depth + 1].successor
+        if lower is None or lower == node.node_id:
+            return self.space.size
+        return self.space.ring_distance(node.node_id, lower)
+
+    # ------------------------------------------------------------ navigation
+
+    def _ring_contacts(self, node: ProtocolNode, depth: int) -> Set[int]:
+        """Contacts of ``node`` known to lie within its depth-``depth`` ring."""
+        out: Set[int] = set()
+        for d in range(depth, node.leaf_depth + 1):
+            ring = node.rings.get(d)
+            if ring:
+                out.update(ring.fingers)
+                out.update(ring.successors)
+        out.discard(node.node_id)
+        return out
+
+    def _find_predecessor(
+        self,
+        prefix: DomainPath,
+        key: int,
+        start: int,
+        kind: str,
+        exclude: Optional[int] = None,
+    ) -> int:
+        """Greedy clockwise walk within a ring to the predecessor of ``key``.
+
+        Each hop is one message of type ``kind``.  ``exclude`` skips one node
+        — a joining node looking up its own identifier must not terminate on
+        itself.
+        """
+        depth = len(prefix)
+        cur = self.nodes[start]
+        for _ in range(MAX_HOPS):
+            remaining = self.space.ring_distance(cur.node_id, key)
+            best: Optional[int] = None
+            best_dist = 0
+            for contact in self._ring_contacts(cur, depth):
+                if contact == exclude:
+                    continue
+                peer = self.nodes.get(contact)
+                if peer is None or not peer.alive:
+                    continue
+                dist = self.space.ring_distance(cur.node_id, contact)
+                if 0 < dist <= remaining and dist > best_dist:
+                    best, best_dist = contact, dist
+            if best is None:
+                return cur.node_id
+            self._count(kind)
+            cur = self.nodes[best]
+        raise RuntimeError("ring walk exceeded hop bound")
+
+    def _find_successor_from(
+        self,
+        prefix: DomainPath,
+        target: int,
+        hint: int,
+        kind: str,
+        exclude: Optional[int] = None,
+    ) -> int:
+        """Successor of ``target`` in a ring, walking from a hint node."""
+        pred = self._find_predecessor(prefix, target, hint, kind, exclude)
+        node = self.nodes[pred]
+        depth = len(prefix)
+        if self.space.ring_distance(pred, target) == 0:
+            return pred
+        succ = node.rings[depth].successor
+        return succ if succ is not None else pred
+
+    # ----------------------------------------------------------------- joins
+
+    def bootstrap_node(self, node_id: int, path: DomainPath) -> ProtocolNode:
+        """Create the very first node of the system."""
+        if self.nodes:
+            raise RuntimeError("network already bootstrapped; use join()")
+        node = ProtocolNode(self.space.validate(node_id), path)
+        self.nodes[node_id] = node
+        self.hierarchy.place(node_id, path)
+        return node
+
+    def pick_bootstrap(self, path: DomainPath) -> int:
+        """An existing node from the deepest populated domain of ``path``.
+
+        Models the paper's bootstrap directory (a per-domain server, the
+        DNS server, or the DHT itself).
+        """
+        for depth in range(len(path), -1, -1):
+            members = [
+                n
+                for n in self.hierarchy.members(path[:depth])
+                if self.nodes[n].alive
+            ]
+            if members:
+                return members[0]
+        raise RuntimeError("no live node to bootstrap from")
+
+    def join(
+        self, node_id: int, path: DomainPath, bootstrap_id: Optional[int] = None
+    ) -> int:
+        """Join a new node; returns the number of protocol messages used."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already present")
+        if not self.nodes:
+            self.bootstrap_node(node_id, path)
+            return 0
+        before = self.msgs.stats.total
+        bootstrap = (
+            bootstrap_id if bootstrap_id is not None else self.pick_bootstrap(path)
+        )
+        node = ProtocolNode(self.space.validate(node_id), path)
+        self.nodes[node_id] = node
+        self.hierarchy.place(node_id, path)
+
+        # Insert bottom-up: predecessor lookup, splice, fingers, per level.
+        contact = bootstrap
+        for depth in range(node.leaf_depth, -1, -1):
+            prefix = path[:depth]
+            members_exist = any(
+                self.nodes[n].alive and n != node_id
+                for n in self.hierarchy.members(prefix)
+            )
+            if not members_exist:
+                node.rings[depth] = RingState(None, [], set())
+                continue
+            if not self._in_ring(self.nodes[contact], prefix):
+                contact = self.pick_bootstrap(prefix)
+            pred_id = self._find_predecessor(
+                prefix, node_id, contact, "join_lookup", exclude=node_id
+            )
+            self._splice_in(node, depth, pred_id)
+            self._build_fingers(node, depth, pred_id, "join_finger")
+            contact = pred_id
+        for listener in self.listeners:
+            if hasattr(listener, "node_joined"):
+                listener.node_joined(node_id)
+        return self.msgs.stats.total - before
+
+    def _splice_in(self, node: ProtocolNode, depth: int, pred_id: int) -> None:
+        """Insert ``node`` after its ring predecessor and notify both sides."""
+        pred = self.nodes[pred_id]
+        ring = pred.rings[depth]
+        succ_id = ring.successor if ring.successor is not None else pred_id
+        node.rings[depth].predecessor = pred_id
+        succ_list = [succ_id] + self.nodes[succ_id].rings[depth].successors
+        node.rings[depth].successors = self._ordered_leafset(node.node_id, succ_list)
+        ring.successors = self._ordered_leafset(
+            pred_id, [node.node_id] + ring.successors
+        )
+        self.nodes[succ_id].rings[depth].predecessor = node.node_id
+        self._count("notify", 2)  # inform predecessor and successor
+
+    def _build_fingers(
+        self, node: ProtocolNode, depth: int, pred_id: int, kind: str
+    ) -> None:
+        """Create the node's ring-``depth`` links (hinted by the predecessor).
+
+        At the node's leaf ring these are full Chord fingers; at merge rings
+        only union fingers strictly inside the own-ring gap survive —
+        conditions (a) and (b) of the Canon merge.
+        """
+        self._count("fetch_hints")  # copy the predecessor's link list
+        prefix = node.path[:depth]
+        gap = self._gap(node, depth)
+        fingers: Set[int] = set()
+        # The predecessor is ring-adjacent, so its finger table is within a
+        # step or two of ours: start every search from the best hint instead
+        # of walking from scratch (this is what keeps joins at O(log n)
+        # messages).
+        pred = self.nodes[pred_id]
+        hints = sorted(
+            {pred_id}
+            | {
+                contact
+                for contact in self._ring_contacts(pred, depth)
+                if contact != node.node_id
+            }
+        )
+        last_succ: Optional[int] = None
+        for k in range(self.space.bits):
+            step = 1 << k
+            if step >= gap:
+                break
+            # The previous finger already covers this octave: no probe needed
+            # (this is what makes the number of *messages* O(log n) even
+            # though N octaves are considered).
+            if (
+                last_succ is not None
+                and self.space.ring_distance(node.node_id, last_succ) >= step
+            ):
+                continue
+            target = self.space.add(node.node_id, step)
+            start = hints[predecessor_index(hints, target)]
+            # No exclusion here: the node itself may be the target's ring
+            # predecessor (its splice is already done), and its successor
+            # pointer is then exactly the finger we need.
+            succ = self._find_successor_from(prefix, target, start, kind)
+            if succ == node.node_id:
+                continue
+            dist = self.space.ring_distance(node.node_id, succ)
+            if step <= dist < gap:
+                fingers.add(succ)
+                last_succ = succ
+                if succ not in hints:
+                    bisect.insort(hints, succ)
+        node.rings[depth].fingers = fingers
+
+    # ------------------------------------------------------------ departures
+
+    def leave(self, node_id: int) -> int:
+        """Graceful departure: notify neighbors at every level."""
+        node = self.nodes[node_id]
+        before = self.msgs.stats.total
+        for listener in self.listeners:
+            if hasattr(listener, "node_leaving"):
+                listener.node_leaving(node_id)
+        for depth, ring in node.rings.items():
+            pred_id = ring.predecessor
+            succ_id = ring.successor
+            if pred_id is not None and pred_id in self.nodes and pred_id != node_id:
+                pred_ring = self.nodes[pred_id].rings[depth]
+                pred_ring.successors = _dedup(
+                    [s for s in [succ_id] + ring.successors if s is not None]
+                    + pred_ring.successors,
+                    pred_id,
+                )
+                pred_ring.successors = [
+                    s for s in pred_ring.successors if s != node_id
+                ][: self.leaf_set_size]
+                self._count("leave_notify")
+            if succ_id is not None and succ_id in self.nodes and succ_id != node_id:
+                self.nodes[succ_id].rings[depth].predecessor = pred_id
+                self._count("leave_notify")
+        self._forget(node_id)
+        return self.msgs.stats.total - before
+
+    def crash(self, node_id: int) -> None:
+        """Silent failure: no notifications; repair happens via leaf sets."""
+        self.nodes[node_id].alive = False
+        for listener in self.listeners:
+            if hasattr(listener, "node_crashed"):
+                listener.node_crashed(node_id)
+
+    def _forget(self, node_id: int) -> None:
+        del self.nodes[node_id]
+        self.hierarchy.remove(node_id)
+        for other in self.nodes.values():
+            for ring in other.rings.values():
+                ring.fingers.discard(node_id)
+                ring.successors = [s for s in ring.successors if s != node_id]
+                if ring.predecessor == node_id:
+                    ring.predecessor = None
+
+    # ---------------------------------------------------------- maintenance
+
+    def stabilize(self) -> int:
+        """One global stabilization round; returns messages used.
+
+        Each live node, at each of its levels: repairs its successor list
+        from the first live entry (dropping crashed nodes), re-adopts its
+        successor's predecessor pointer, and refreshes its fingers — which
+        also *drops* merge links invalidated by a shrunken own-ring gap.
+        """
+        before = self.msgs.stats.total
+        for node in list(self.nodes.values()):
+            if not node.alive:
+                continue
+            for depth in range(node.leaf_depth, -1, -1):
+                self._stabilize_ring(node, depth)
+        # Purge crashed nodes whose state no-one references any more.
+        for dead in [n for n, node in self.nodes.items() if not node.alive]:
+            self._forget(dead)
+        for listener in self.listeners:
+            if hasattr(listener, "stabilized"):
+                listener.stabilized()
+        return self.msgs.stats.total - before
+
+    def _stabilize_ring(self, node: ProtocolNode, depth: int) -> None:
+        prefix = node.path[:depth]
+        ring = node.rings[depth]
+        live_succ = None
+        for cand in ring.successors:
+            peer = self.nodes.get(cand)
+            self._count("ping")
+            if peer is not None and peer.alive:
+                live_succ = cand
+                break
+        members = [
+            n
+            for n in self.hierarchy.members(prefix)
+            if n != node.node_id and self.nodes[n].alive
+        ]
+        if not members:
+            node.rings[depth] = RingState(None, [], set())
+            return
+        if live_succ is None:
+            # Leaf set exhausted (catastrophic local failure): locate our
+            # ring predecessor through a live contact and read the successor
+            # out of *its* leaf set (its head entry is ourselves).
+            probe = self._find_predecessor(
+                prefix,
+                self.space.add(node.node_id, 1),
+                members[0],
+                "repair_lookup",
+                exclude=node.node_id,
+            )
+            probe_ring = self.nodes[probe].rings[depth]
+            for cand in probe_ring.successors:
+                peer = self.nodes.get(cand)
+                if cand != node.node_id and peer is not None and peer.alive:
+                    live_succ = cand
+                    break
+            if live_succ is None:
+                # Last resort: consult the bootstrap directory (the same
+                # per-domain membership service new joiners use).
+                live_succ = min(
+                    (m for m in members),
+                    key=lambda m: self.space.ring_distance(node.node_id, m),
+                )
+            self._count("repair_lookup")
+        # Chord's stabilize step: if our successor's predecessor lies between
+        # us and it, that node is our true successor — adopt it.
+        succ_ring = self.nodes[live_succ].rings[depth]
+        between = succ_ring.predecessor
+        if (
+            between is not None
+            and between != node.node_id
+            and between in self.nodes
+            and self.nodes[between].alive
+            and self.space.ring_distance(node.node_id, between)
+            < self.space.ring_distance(node.node_id, live_succ)
+        ):
+            live_succ = between
+            succ_ring = self.nodes[live_succ].rings[depth]
+            self._count("notify")
+        # Verification walk: a node that mis-spliced during instability is
+        # internally consistent with its (equally wrong) neighbors, so also
+        # ask the ring itself — walk from our believed predecessor to the
+        # true predecessor of our successor position and compare heads.
+        # For a correctly placed node this is 0 hops.
+        start = ring.predecessor
+        if start is None or start not in self.nodes or not self.nodes[start].alive:
+            start = live_succ
+        probe = self._find_predecessor(
+            prefix,
+            self.space.add(node.node_id, 1),
+            start,
+            "verify",
+            exclude=node.node_id,
+        )
+        probe_ring = self.nodes[probe].rings[depth]
+        probe_head = next(
+            (
+                cand
+                for cand in probe_ring.successors
+                if cand != node.node_id
+                and cand in self.nodes
+                and self.nodes[cand].alive
+            ),
+            None,
+        )
+        if probe_head is not None and self.space.ring_distance(
+            node.node_id, probe_head
+        ) < self.space.ring_distance(node.node_id, live_succ):
+            live_succ = probe_head
+            succ_ring = self.nodes[live_succ].rings[depth]
+            self._count("notify")
+        if probe != node.node_id:
+            # Offer ourselves to the probe's leaf set: if we really are its
+            # immediate successor, the distance ordering puts us at its head
+            # and the ring heals from the predecessor side too.
+            probe_ring.successors = self._ordered_leafset(
+                probe, [node.node_id] + probe_ring.successors
+            )
+        ring.successors = self._ordered_leafset(
+            node.node_id, [live_succ] + succ_ring.successors
+        )
+        if succ_ring.predecessor != node.node_id:
+            pred_cand = succ_ring.predecessor
+            if (
+                pred_cand is None
+                or pred_cand not in self.nodes
+                or not self.nodes[pred_cand].alive
+                or self.space.ring_distance(pred_cand, live_succ)
+                > self.space.ring_distance(node.node_id, live_succ)
+            ):
+                succ_ring.predecessor = node.node_id
+                self._count("notify")
+        self._build_fingers(
+            node, depth, ring.predecessor or live_succ, "refresh_finger"
+        )
+
+    def stabilize_to_convergence(self, max_rounds: int = 20) -> int:
+        """Stabilize until the link tables equal the static oracle.
+
+        Returns the number of rounds used.  Successor-chain damage repairs
+        one position per round (as in Chord), so heavily damaged rings can
+        need several; raises if ``max_rounds`` is not enough.
+        """
+        for round_number in range(1, max_rounds + 1):
+            self.stabilize()
+            if self.static_links() == self.oracle_links():
+                return round_number
+        raise RuntimeError(f"not converged after {max_rounds} stabilize rounds")
+
+    # ---------------------------------------------------------------- lookup
+
+    def lookup(self, src: int, key: int) -> Route:
+        """Greedy clockwise lookup with leaf-set fallback around failures."""
+        cur = self.nodes[src]
+        path = [src]
+        for _ in range(MAX_HOPS):
+            remaining = self.space.ring_distance(cur.node_id, key)
+            if remaining == 0:
+                return Route(path, True, key)
+            best: Optional[int] = None
+            best_dist = 0
+            for contact in cur.routing_contacts():
+                peer = self.nodes.get(contact)
+                if peer is None or not peer.alive:
+                    continue
+                dist = self.space.ring_distance(cur.node_id, contact)
+                if 0 < dist <= remaining and dist > best_dist:
+                    best, best_dist = contact, dist
+            if best is None:
+                return Route(path, self._responsible_live(cur.node_id, key), key)
+            self._count("lookup")
+            path.append(best)
+            cur = self.nodes[best]
+        raise RuntimeError("lookup exceeded hop bound")
+
+    def _responsible_live(self, node_id: int, key: int) -> bool:
+        live = sorted(n for n, node in self.nodes.items() if node.alive)
+        if not live:
+            return False
+        return live[predecessor_index(live, key)] == node_id
+
+    # ------------------------------------------------------------ validation
+
+    def static_links(self) -> Dict[int, List[int]]:
+        """Current link tables in the static-network format (sorted lists)."""
+        return {
+            node_id: sorted(node.all_links())
+            for node_id, node in self.nodes.items()
+            if node.alive
+        }
+
+    def oracle_links(self) -> Dict[int, List[int]]:
+        """Ground-truth Crescendo links for the current live membership."""
+        from ..dhts.crescendo import CrescendoNetwork
+
+        hierarchy = Hierarchy()
+        for node_id, node in self.nodes.items():
+            if node.alive:
+                hierarchy.place(node_id, node.path)
+        oracle = CrescendoNetwork(self.space, hierarchy, use_numpy=False).build()
+        return {n: list(links) for n, links in oracle.links.items()}
+
+
+def _dedup(items: List[int], exclude: int) -> List[int]:
+    """Stable de-duplication, dropping ``exclude`` and ``None`` entries."""
+    seen: Set[int] = set()
+    out: List[int] = []
+    for item in items:
+        if item is None or item == exclude or item in seen:
+            continue
+        seen.add(item)
+        out.append(item)
+    return out

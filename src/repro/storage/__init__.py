@@ -1,0 +1,31 @@
+"""Section 4: hierarchical storage and retrieval, access control, proxy-node
+caching, and partition-balanced ID allocation."""
+
+from .caching import CacheStats, CachingStore, LevelAwareCache
+from .path_caching import PathCacheStats, PathCachingStore
+from .replication import DEFAULT_REPLICAS, ReplicatedStore
+from .partition import (
+    BalancedIdAllocator,
+    HierarchicalIdAllocator,
+    bit_reverse,
+    random_partition_ratio,
+)
+from .store import HierarchicalStore, Pointer, SearchResult, StoredItem
+
+__all__ = [
+    "BalancedIdAllocator",
+    "CacheStats",
+    "CachingStore",
+    "DEFAULT_REPLICAS",
+    "PathCacheStats",
+    "PathCachingStore",
+    "ReplicatedStore",
+    "HierarchicalIdAllocator",
+    "HierarchicalStore",
+    "LevelAwareCache",
+    "Pointer",
+    "SearchResult",
+    "StoredItem",
+    "bit_reverse",
+    "random_partition_ratio",
+]

@@ -1,0 +1,19 @@
+"""Transit-stub internet topology model (GT-ITM substitute, Section 5.2)."""
+
+from .transit_stub import (
+    HOST_STUB_MS,
+    STUB_STUB_MS,
+    TRANSIT_STUB_MS,
+    TRANSIT_TRANSIT_MS,
+    TopologyParams,
+    TransitStubTopology,
+)
+
+__all__ = [
+    "HOST_STUB_MS",
+    "STUB_STUB_MS",
+    "TRANSIT_STUB_MS",
+    "TRANSIT_TRANSIT_MS",
+    "TopologyParams",
+    "TransitStubTopology",
+]

@@ -1,0 +1,19 @@
+"""Workload generators: query pairs (random / locality-scoped / Zipf keys)
+and the Figure 9 multicast-tree workload."""
+
+from .multicast import (
+    count_interdomain_edges,
+    multicast_interdomain_profile,
+    multicast_tree,
+)
+from .queries import locality_pair, locality_pairs, random_pair, zipf_key_workload
+
+__all__ = [
+    "count_interdomain_edges",
+    "locality_pair",
+    "locality_pairs",
+    "multicast_interdomain_profile",
+    "multicast_tree",
+    "random_pair",
+    "zipf_key_workload",
+]

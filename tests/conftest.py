@@ -1,0 +1,61 @@
+"""Shared fixtures: ID spaces, seeded RNGs, and prebuilt small networks.
+
+Networks that several test modules reuse are session-scoped; everything is
+deterministic (fixed seeds) so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ChordNetwork,
+    CrescendoNetwork,
+    IdSpace,
+    build_uniform_hierarchy,
+)
+
+
+@pytest.fixture
+def space():
+    return IdSpace(32)
+
+
+@pytest.fixture
+def small_space():
+    """A tiny 8-bit space where brute-force enumeration is trivial."""
+    return IdSpace(8)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)
+
+
+def make_crescendo(size=400, levels=3, fanout=4, seed=7, use_numpy=True, bits=32):
+    """Helper used across modules: a deterministic Crescendo instance."""
+    rng = random.Random(seed)
+    space = IdSpace(bits)
+    ids = space.random_ids(size, rng)
+    hierarchy = build_uniform_hierarchy(ids, fanout, levels, rng)
+    return CrescendoNetwork(space, hierarchy, use_numpy=use_numpy).build()
+
+
+def make_chord(size=400, seed=7, bits=32):
+    rng = random.Random(seed)
+    space = IdSpace(bits)
+    ids = space.random_ids(size, rng)
+    hierarchy = build_uniform_hierarchy(ids, 4, 1, rng)
+    return ChordNetwork(space, hierarchy).build()
+
+
+@pytest.fixture(scope="session")
+def crescendo_net():
+    return make_crescendo()
+
+
+@pytest.fixture(scope="session")
+def chord_net():
+    return make_chord()

@@ -1,0 +1,136 @@
+"""Tests for asynchronous, in-flight lookups on the virtual clock."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.simulation.async_lookup import AsyncEngine
+from repro.simulation.events import ConstantLatency, Simulator
+from repro.simulation.protocol import SimulatedCrescendo
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x")]
+
+
+def grown(size=150, seed=0, latency=2.0):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    sim = Simulator()
+    net = SimulatedCrescendo(space, sim=sim, latency_model=ConstantLatency(latency))
+    for node_id in space.random_ids(size, rng):
+        net.join(node_id, PATHS[rng.randrange(len(PATHS))])
+    net.stabilize()
+    return net, rng
+
+
+class TestBasics:
+    def test_lookup_completes_with_callback(self):
+        net, rng = grown()
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        done = []
+        engine.lookup(ids[0], ids[5], done.append)
+        net.sim.run()
+        assert len(done) == 1
+        result = done[0]
+        assert result.success and result.path[-1] == ids[5]
+        assert engine.in_flight == 0
+
+    def test_duration_is_hops_times_latency(self):
+        net, rng = grown(latency=3.0)
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        engine.lookup(ids[1], ids[9])
+        net.sim.run()
+        result = engine.completed[0]
+        assert result.duration == pytest.approx(result.hops * 3.0)
+
+    def test_self_lookup_instant(self):
+        net, rng = grown()
+        engine = AsyncEngine(net)
+        node = next(iter(net.nodes))
+        engine.lookup(node, node)
+        net.sim.run()
+        assert engine.completed[0].success
+        assert engine.completed[0].duration == 0.0
+
+    def test_dead_source_rejected(self):
+        net, rng = grown()
+        victim = next(iter(net.nodes))
+        net.crash(victim)
+        engine = AsyncEngine(net)
+        with pytest.raises(ValueError):
+            engine.lookup(victim, 123)
+
+    def test_many_concurrent_lookups(self):
+        net, rng = grown()
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        for _ in range(100):
+            a, b = rng.sample(ids, 2)
+            engine.lookup(a, b)
+        assert engine.in_flight == 100
+        net.sim.run()
+        assert engine.in_flight == 0
+        assert engine.delivery_rate() == 1.0
+        assert engine.mean_duration() > 0
+
+
+class TestInFlightChurn:
+    def test_crash_during_flight_can_drop_messages(self):
+        """Crashing nodes while lookups are airborne: some may be lost, the
+        engine reports them as failures rather than hanging."""
+        net, rng = grown(size=200, seed=1)
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        for _ in range(150):
+            a, b = rng.sample(ids, 2)
+            engine.lookup(a, b)
+        # Schedule crashes shortly after launch, mid-flight.
+        victims = rng.sample(ids, 15)
+
+        def crash_all():
+            for victim in victims:
+                if victim in net.nodes and net.nodes[victim].alive:
+                    net.crash(victim)
+
+        net.sim.schedule(3.0, crash_all)  # between hop 1 and hop 2
+        net.sim.run()
+        assert engine.in_flight == 0, "every lookup must terminate"
+        assert len(engine.completed) == 150
+        # Lookups routed around or through dead nodes; most still deliver.
+        assert engine.delivery_rate() > 0.7
+
+    def test_next_hop_uses_state_at_delivery_time(self):
+        """A repair that lands while a message is in flight is used by the
+        following hop (decisions are made at delivery, not at launch)."""
+        net, rng = grown(size=100, seed=2)
+        engine = AsyncEngine(net)
+        ids = sorted(net.nodes)
+        src, dst = ids[0], ids[-1]
+        engine.lookup(src, dst)
+        # Stabilize mid-flight: harmless, and exercises the interleaving.
+        net.sim.schedule(1.0, lambda: net.stabilize())
+        net.sim.run()
+        assert engine.completed[0].success
+
+    def test_joins_during_flight(self):
+        net, rng = grown(size=120, seed=3)
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        for _ in range(60):
+            a, b = rng.sample(ids, 2)
+            engine.lookup(a, b)
+
+        def add_nodes():
+            for _ in range(10):
+                new_id = net.space.random_id(rng)
+                while new_id in net.nodes:
+                    new_id = net.space.random_id(rng)
+                net.join(new_id, PATHS[rng.randrange(len(PATHS))])
+
+        net.sim.schedule(2.0, add_nodes)
+        net.sim.run()
+        assert engine.delivery_rate() == 1.0

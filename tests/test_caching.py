@@ -1,0 +1,176 @@
+"""Tests for proxy-node caching and level-aware replacement (§4.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.storage.caching import CachingStore, LevelAwareCache
+from repro.storage.store import HierarchicalStore
+
+
+class TestLevelAwareCache:
+    def test_put_get(self):
+        cache = LevelAwareCache(4)
+        cache.put(1, "a", 1)
+        assert cache.get(1) == "a"
+        assert cache.get(2) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LevelAwareCache(0)
+
+    def test_eviction_prefers_deeper_levels(self):
+        cache = LevelAwareCache(2)
+        cache.put(1, "top", 1)
+        cache.put(2, "deep", 3)
+        cache.put(3, "mid", 2)  # forces one eviction
+        assert cache.get(2) is None, "deepest level (largest number) evicted first"
+        assert cache.get(1) == "top"
+        assert cache.get(3) == "mid"
+
+    def test_lru_within_level(self):
+        cache = LevelAwareCache(2)
+        cache.put(1, "a", 1)
+        cache.put(2, "b", 1)
+        cache.get(1)  # touch 1
+        cache.put(3, "c", 1)
+        assert cache.get(2) is None
+        assert cache.get(1) == "a"
+
+    def test_reinsert_keeps_smaller_level(self):
+        cache = LevelAwareCache(4)
+        cache.put(1, "v", 3)
+        cache.put(1, "v", 1)
+        assert cache.level_of(1) == 1
+        cache.put(1, "v", 5)
+        assert cache.level_of(1) == 1, "a proxy for several levels keeps the smallest"
+
+    def test_eviction_counter(self):
+        cache = LevelAwareCache(1)
+        cache.put(1, "a", 1)
+        cache.put(2, "b", 1)
+        assert cache.evictions == 1
+        assert len(cache) == 1
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(500, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 3, rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+    store = HierarchicalStore(net)
+    return net, store, rng
+
+
+class TestCachingStore:
+    def test_first_query_misses_then_hits(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=64)
+        owner = net.node_ids[0]
+        caching.put(owner, "doc1", "v1")
+        src_domain = net.hierarchy.path_of(net.node_ids[5])[:2]
+        queriers = net.hierarchy.members(src_domain)[:6]
+        first = caching.get(queriers[0], "doc1")
+        assert first.found
+        again = caching.get(queriers[0], "doc1")
+        assert again.found
+        assert caching.stats.hits >= 1
+
+    def test_same_domain_queriers_benefit(self, env):
+        """After one query, same-domain peers find the cached copy at their
+        shared proxy: hop counts drop."""
+        net, store, rng = env
+        caching = CachingStore(store, capacity=64)
+        owner = net.node_ids[1]
+        caching.put(owner, "doc2", "v2")
+        domain = net.hierarchy.path_of(net.node_ids[7])[:1]
+        members = net.hierarchy.members(domain)
+        warm = caching.get(members[0], "doc2")
+        assert warm.found
+        later_hops = []
+        for src in members[1:8]:
+            result = caching.get(src, "doc2")
+            assert result.found and result.values == ["v2"]
+            later_hops.append(result.hops)
+        assert min(later_hops) <= warm.hops
+
+    def test_cached_copy_found_in_lowest_shared_domain(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=64)
+        owner = net.node_ids[2]
+        caching.put(owner, "doc3", "v3")
+        # First querier warms the caches along its ancestor chain.
+        src = net.node_ids[11]
+        caching.get(src, "doc3")
+        path = net.hierarchy.path_of(src)
+        key_hash = net.space.hash_key("doc3")
+        for depth in range(1, len(path) + 1):
+            proxy = store.home_node(key_hash, path[:depth])
+            answered_domain = net.hierarchy.path_of(
+                net.responsible_node(key_hash)
+            )
+            # Proxies below the answer's shared domain must hold the value.
+            cache = caching.cache_at(proxy)
+            shared_depth = len(
+                net.hierarchy.lca_of_nodes(src, net.responsible_node(key_hash))
+            )
+            if depth > shared_depth:
+                assert cache.get(key_hash) == "v3"
+
+    def test_level_annotations_increase_with_depth(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=64)
+        owner = net.node_ids[3]
+        caching.put(owner, "doc4", "v4")
+        src = net.node_ids[13]
+        caching.get(src, "doc4")
+        key_hash = net.space.hash_key("doc4")
+        path = net.hierarchy.path_of(src)
+        shared_depth = len(
+            net.hierarchy.lca_of_nodes(src, net.responsible_node(key_hash))
+        )
+        levels = []
+        for depth in range(shared_depth + 1, len(path) + 1):
+            proxy = store.home_node(key_hash, path[:depth])
+            level = caching.cache_at(proxy).level_of(key_hash)
+            if level is not None:
+                levels.append((depth, level))
+        for (d1, l1), (d2, l2) in zip(levels, levels[1:]):
+            assert l2 >= l1, "deeper proxies carry larger level numbers"
+
+    def test_miss_returns_not_found(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=16)
+        result = caching.get(net.node_ids[4], "absent-key")
+        assert not result.found
+        assert caching.stats.misses >= 1
+
+    def test_eviction_count_aggregates(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=1)
+        owner = net.node_ids[5]
+        # Enough keys that some proxy node (the responsible member of the
+        # querier's small leaf domain) sees more than one key.
+        for i in range(40):
+            caching.put(owner, f"bulk{i}", i)
+        src = net.node_ids[17]
+        for i in range(40):
+            caching.get(src, f"bulk{i}")
+        assert caching.eviction_count() >= 1
+
+    def test_hit_rate_property(self, env):
+        net, store, rng = env
+        caching = CachingStore(store, capacity=64)
+        assert caching.stats.hit_rate == 0.0
+        owner = net.node_ids[6]
+        caching.put(owner, "rate", 1)
+        src = net.node_ids[19]
+        caching.get(src, "rate")
+        caching.get(src, "rate")
+        assert 0.0 < caching.stats.hit_rate < 1.0

@@ -1,0 +1,124 @@
+"""Tests for Cacophony — Canonical Symphony (Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.hierarchy import lca
+from repro.core.routing import route_ring, route_ring_lookahead
+from repro.dhts.cacophony import CacophonyNetwork
+
+
+def build(size=500, levels=3, fanout=4, seed=0):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, fanout, levels, rng)
+    return CacophonyNetwork(space, h, rng).build()
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build()
+
+
+class TestConstruction:
+    def test_degree_about_log_n(self, net):
+        assert net.average_degree() < 2 * math.log2(net.size)
+        assert net.average_degree() > 0.5 * math.log2(net.size)
+
+    def test_per_level_successors_linked(self, net):
+        """Each node links its successor at every level (Section 3.1)."""
+        hierarchy = net.hierarchy
+        for node in net.node_ids[:50]:
+            path = hierarchy.path_of(node)
+            for depth in range(len(path) + 1):
+                members = hierarchy.sorted_members(path[:depth])
+                if len(members) < 2:
+                    continue
+                pos = members.index(node)
+                succ = members[(pos + 1) % len(members)]
+                assert succ in net.links[node], (
+                    f"missing depth-{depth} successor for {node}"
+                )
+
+    def test_merge_links_inside_gap(self, net):
+        """Out-of-domain links are closer than the lower-level successor
+        (condition (b) analogue), except the always-kept level successor."""
+        space = net.space
+        hierarchy = net.hierarchy
+        for node in net.node_ids[:50]:
+            path = hierarchy.path_of(node)
+            for link in net.links[node]:
+                shared = lca(path, hierarchy.path_of(link))
+                if len(shared) >= len(path):
+                    continue  # within the leaf domain: Symphony links, no (b)
+                own = hierarchy.sorted_members(path[: len(shared) + 1])
+                own_dists = [space.ring_distance(node, o) for o in own if o != node]
+                if not own_dists:
+                    continue
+                dist = space.ring_distance(node, link)
+                # Successors at every enclosing level are always linked; any
+                # other cross-domain link must sit strictly inside the gap.
+                level_successors = set()
+                for depth in range(len(shared) + 1):
+                    members = hierarchy.sorted_members(path[:depth])
+                    idx = members.index(node)
+                    level_successors.add(members[(idx + 1) % len(members)])
+                assert dist < min(own_dists) or link in level_successors
+
+    def test_links_valid(self, net):
+        net.check_links_valid()
+
+
+class TestRouting:
+    def test_total_delivery(self, net):
+        rng = random.Random(1)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_ring(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_hops_logarithmic(self, net):
+        rng = random.Random(2)
+        hops = [
+            route_ring(net, *rng.sample(net.node_ids, 2)).hops for _ in range(200)
+        ]
+        assert statistics.mean(hops) < 2 * math.log2(net.size)
+
+    def test_lookahead_works_and_saves(self, net):
+        rng = random.Random(3)
+        pairs = [rng.sample(net.node_ids, 2) for _ in range(120)]
+        greedy, ahead = [], []
+        for a, b in pairs:
+            r1 = route_ring(net, a, b)
+            r2 = route_ring_lookahead(net, a, b)
+            assert r1.success and r2.success and r2.terminal == b
+            greedy.append(r1.hops)
+            ahead.append(r2.hops)
+        assert statistics.mean(ahead) <= statistics.mean(greedy)
+
+    def test_intra_domain_locality(self, net):
+        """Canon locality holds for Cacophony too."""
+        rng = random.Random(4)
+        hierarchy = net.hierarchy
+        for _ in range(100):
+            a, b = rng.sample(net.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            r = route_ring(net, a, b)
+            assert all(
+                hierarchy.path_of(n)[: len(shared)] == shared for n in r.path
+            )
+
+
+class TestScaling:
+    def test_flat_matches_symphony_shape(self):
+        flat = build(size=400, levels=1, seed=5)
+        deep = build(size=400, levels=4, seed=5)
+        # Canon versions keep roughly the flat degree budget.
+        assert abs(flat.average_degree() - deep.average_degree()) < 3.0

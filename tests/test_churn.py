@@ -1,0 +1,63 @@
+"""Tests for the churn workload driver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.simulation.churn import ChurnConfig, run_churn
+from repro.simulation.protocol import SimulatedCrescendo
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+
+def seeded_net(size=80, seed=0):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    net = SimulatedCrescendo(space)
+    for node_id in space.random_ids(size, rng):
+        net.join(node_id, PATHS[rng.randrange(len(PATHS))])
+    return net, rng
+
+
+class TestRunChurn:
+    def test_requires_bootstrap(self):
+        net = SimulatedCrescendo(IdSpace(32))
+        with pytest.raises(ValueError):
+            run_churn(net, random.Random(0), PATHS)
+
+    def test_population_changes(self):
+        net, rng = seeded_net()
+        config = ChurnConfig(joins=30, leaves=10, crashes=5, lookups=50)
+        report = run_churn(net, rng, PATHS, config)
+        assert report.final_population == 80 + 30 - 10 - 5
+
+    def test_converges_to_oracle(self):
+        net, rng = seeded_net(seed=1)
+        report = run_churn(net, rng, PATHS, ChurnConfig())
+        assert report.converged_to_oracle
+
+    def test_high_delivery_under_churn(self):
+        net, rng = seeded_net(seed=2)
+        report = run_churn(
+            net, rng, PATHS, ChurnConfig(joins=40, leaves=20, crashes=10, lookups=150)
+        )
+        assert report.lookups_attempted > 100
+        assert report.delivery_rate > 0.9
+
+    def test_message_accounting(self):
+        net, rng = seeded_net(seed=3)
+        report = run_churn(net, rng, PATHS, ChurnConfig())
+        assert report.join_messages > 0
+        assert report.leave_messages > 0
+        assert report.stabilize_messages > 0
+        assert report.lookup_messages > 0
+
+    def test_no_lookups_perfect_rate(self):
+        net, rng = seeded_net(seed=4)
+        report = run_churn(
+            net, rng, PATHS, ChurnConfig(joins=5, leaves=2, crashes=1, lookups=0)
+        )
+        assert report.delivery_rate == 1.0

@@ -1,0 +1,35 @@
+"""Tests for the experiments CLI (`python -m repro.experiments`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig3", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "levels=" in out
+
+    def test_default_scale_is_small(self):
+        import argparse
+
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "enormous"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_caching_study(self, capsys):
+        assert main(["caching", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "proxy" in out and "path" in out
+
+    def test_churn_study(self, capsys):
+        assert main(["churn", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "heavy" in out

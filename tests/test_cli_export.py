@@ -1,0 +1,39 @@
+"""Tests for the report and export CLI commands."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import main
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path):
+        out = tmp_path / "RESULTS.md"
+        assert main(["report", "--scale", "smoke", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# Canon reproduction")
+        for fig in range(3, 10):
+            assert f"Figure {fig}" in text
+
+    def test_report_generate_returns_text(self):
+        from repro.experiments.report import generate
+
+        text = generate("smoke")
+        assert "| " in text  # markdown tables present
+
+
+class TestExport:
+    def test_export_writes_one_csv_per_experiment(self, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["export", "--scale", "smoke", "--out", str(out_dir)]) == 0
+        files = {p.stem for p in out_dir.glob("*.csv")}
+        assert files == set(EXPERIMENTS)
+        fig3 = (out_dir / "fig3.csv").read_text()
+        header = fig3.splitlines()[0]
+        assert header.startswith("n,")
+        assert "levels=1" in header
+        assert len(fig3.splitlines()) >= 3

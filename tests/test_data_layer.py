@@ -1,0 +1,168 @@
+"""Tests for content management over the dynamic protocol (handoff,
+replication, crash loss)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.simulation.data import DataLayer
+from repro.simulation.protocol import SimulatedCrescendo
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x")]
+
+
+def grown(size=120, seed=0, replicas=2):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    net = SimulatedCrescendo(space)
+    for node_id in space.random_ids(size, rng):
+        net.join(node_id, PATHS[rng.randrange(len(PATHS))])
+    net.stabilize()
+    data = DataLayer(net, replicas=replicas)
+    return net, data, rng
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        net, data, rng = grown()
+        origin = next(iter(net.nodes))
+        data.put(origin, "song.mp3", b"notes")
+        value, route = data.get(origin, "song.mp3")
+        assert value == b"notes"
+        assert route.success
+
+    def test_holders_count(self):
+        net, data, rng = grown(replicas=3)
+        origin = next(iter(net.nodes))
+        holders = data.put(origin, "k", "v")
+        assert len(holders) == 3
+
+    def test_primary_is_live_responsible(self):
+        net, data, rng = grown()
+        origin = next(iter(net.nodes))
+        holders = data.put(origin, "k2", "v2")
+        key_hash = net.space.hash_key("k2")
+        live = sorted(net.nodes)
+        from repro.core.idspace import predecessor_index
+
+        assert holders[0] == live[predecessor_index(live, key_hash)]
+
+    def test_domain_scoped_put_requires_membership(self):
+        net, data, rng = grown()
+        origin = next(iter(net.nodes))
+        wrong = next(
+            p for p in PATHS if p[:1] != net.nodes[origin].path[:1]
+        )
+        with pytest.raises(ValueError):
+            data.put(origin, "k3", "v3", storage_domain=wrong)
+
+    def test_missing_key(self):
+        net, data, rng = grown()
+        origin = next(iter(net.nodes))
+        value, route = data.get(origin, "no-such")
+        assert value is None
+
+    def test_replicas_validated(self):
+        net, _, _ = grown()
+        with pytest.raises(ValueError):
+            DataLayer(net, replicas=0)
+
+
+class TestHandoff:
+    def test_join_takes_over_range(self):
+        net, data, rng = grown(seed=1)
+        origin = next(iter(net.nodes))
+        keys = [f"key-{i}" for i in range(30)]
+        for key in keys:
+            data.put(origin, key, key)
+        for _ in range(10):
+            new_id = net.space.random_id(rng)
+            while new_id in net.nodes:
+                new_id = net.space.random_id(rng)
+            net.join(new_id, PATHS[rng.randrange(len(PATHS))])
+        live = sorted(net.nodes)
+        from repro.core.idspace import predecessor_index
+
+        for key in keys:
+            key_hash = net.space.hash_key(key)
+            expected = live[predecessor_index(live, key_hash)]
+            assert data.holders[key_hash][0] == expected
+
+    def test_graceful_leave_hands_off(self):
+        net, data, rng = grown(seed=2)
+        origin = next(iter(net.nodes))
+        keys = [f"doc-{i}" for i in range(30)]
+        for key in keys:
+            data.put(origin, key, key)
+        # Leave every original holder of one key.
+        victim_key = keys[0]
+        key_hash = net.space.hash_key(victim_key)
+        for holder in list(data.holders[key_hash]):
+            if len(net.nodes) > 3:
+                net.leave(holder)
+        assert data.value_available(victim_key)
+        querier = next(iter(net.nodes))
+        value, route = data.get(querier, victim_key)
+        assert value == victim_key
+
+    def test_all_lookups_succeed_after_churn(self):
+        net, data, rng = grown(seed=3)
+        origin = next(iter(net.nodes))
+        keys = [f"file-{i}" for i in range(25)]
+        for key in keys:
+            data.put(origin, key, key)
+        for _ in range(15):
+            action = rng.random()
+            live = [n for n, node in net.nodes.items() if node.alive]
+            if action < 0.5:
+                new_id = net.space.random_id(rng)
+                while new_id in net.nodes:
+                    new_id = net.space.random_id(rng)
+                net.join(new_id, PATHS[rng.randrange(len(PATHS))])
+            elif len(live) > 10:
+                net.leave(rng.choice(live))
+        net.stabilize_to_convergence()
+        querier = next(iter(net.nodes))
+        found = sum(data.get(querier, key)[0] == key for key in keys)
+        assert found == len(keys)
+
+
+class TestCrashes:
+    def test_single_crash_masked_by_replica(self):
+        net, data, rng = grown(seed=4, replicas=2)
+        origin = next(iter(net.nodes))
+        data.put(origin, "kx", "vx")
+        key_hash = net.space.hash_key("kx")
+        primary = data.holders[key_hash][0]
+        net.crash(primary)
+        assert data.value_available("kx")
+        net.stabilize()  # re-replication restores the degree
+        live_holders = [
+            h for h in data.holders[key_hash] if h in net.nodes
+        ]
+        assert len(live_holders) == 2
+
+    def test_simultaneous_crash_of_all_copies_loses_key(self):
+        net, data, rng = grown(seed=5, replicas=2)
+        origin = next(iter(net.nodes))
+        data.put(origin, "doomed", 1)
+        key_hash = net.space.hash_key("doomed")
+        for holder in list(data.holders[key_hash]):
+            net.crash(holder)
+        net.stabilize()
+        assert not data.value_available("doomed")
+        assert "doomed" in data.lost_keys()
+
+    def test_staggered_crashes_survive_with_repair(self):
+        net, data, rng = grown(seed=6, replicas=3)
+        origin = next(iter(net.nodes))
+        data.put(origin, "sturdy", 2)
+        key_hash = net.space.hash_key("sturdy")
+        for _ in range(4):
+            primary = data.holders[key_hash][0]
+            net.crash(primary)
+            net.stabilize()  # repair between failures
+            assert data.value_available("sturdy")

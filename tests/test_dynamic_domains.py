@@ -1,0 +1,90 @@
+"""The hierarchy evolves dynamically (paper §2.1): new domains appear when
+the first node carrying a new name joins.  The protocol must bootstrap such
+nodes through the deepest *populated* ancestor domain."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.simulation.protocol import SimulatedCrescendo
+
+
+@pytest.fixture
+def net():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    network = SimulatedCrescendo(space)
+    for node_id in space.random_ids(80, rng):
+        network.join(node_id, ("us", rng.choice(["west", "east"])))
+    return network, rng
+
+
+class TestNewDomains:
+    def test_first_node_of_new_leaf_domain(self, net):
+        """A new sub-domain under a populated parent bootstraps fine."""
+        network, rng = net
+        new_id = network.space.random_id(rng)
+        while new_id in network.nodes:
+            new_id = network.space.random_id(rng)
+        network.join(new_id, ("us", "central"))  # brand-new leaf domain
+        node = network.nodes[new_id]
+        assert node.rings[2].successor is None, "alone in its leaf ring"
+        assert node.rings[1].successor is not None, "spliced into the us ring"
+        network.stabilize()
+        assert network.static_links() == network.oracle_links()
+
+    def test_first_node_of_new_top_domain(self, net):
+        """A whole new organisation joins: only the global ring is shared."""
+        network, rng = net
+        new_id = network.space.random_id(rng)
+        while new_id in network.nodes:
+            new_id = network.space.random_id(rng)
+        network.join(new_id, ("eu", "north"))
+        node = network.nodes[new_id]
+        assert node.rings[0].successor is not None
+        assert node.rings[1].successor is None
+        assert node.rings[2].successor is None
+        network.stabilize()
+        assert network.static_links() == network.oracle_links()
+
+    def test_new_domain_grows(self, net):
+        """Subsequent joiners find the young domain through the directory."""
+        network, rng = net
+        members = []
+        for _ in range(8):
+            new_id = network.space.random_id(rng)
+            while new_id in network.nodes:
+                new_id = network.space.random_id(rng)
+            network.join(new_id, ("eu", "north"))
+            members.append(new_id)
+        network.stabilize()
+        assert network.static_links() == network.oracle_links()
+        # Intra-domain lookups among the newcomers never leave the domain.
+        for _ in range(20):
+            a, b = rng.sample(members, 2)
+            result = network.lookup(a, b)
+            assert result.success and result.terminal == b
+            assert all(
+                network.nodes[n].path == ("eu", "north") for n in result.path
+            )
+
+    def test_deeper_paths_than_existing(self, net):
+        """A node with a deeper name than anyone else still joins cleanly."""
+        network, rng = net
+        new_id = network.space.random_id(rng)
+        while new_id in network.nodes:
+            new_id = network.space.random_id(rng)
+        network.join(new_id, ("us", "west", "lab", "rack9"))
+        node = network.nodes[new_id]
+        assert node.leaf_depth == 4
+        network.stabilize()
+        assert network.static_links() == network.oracle_links()
+        peer = next(
+            n for n in network.nodes
+            if n != new_id and network.nodes[n].path[:2] == ("us", "west")
+        )
+        result = network.lookup(new_id, peer)
+        assert result.success and result.terminal == peer

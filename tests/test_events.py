@@ -1,0 +1,106 @@
+"""Tests for the discrete-event simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.events import (
+    ConstantLatency,
+    MessageLayer,
+    MessageStats,
+    Simulator,
+)
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append("b"))
+        sim.schedule(1, lambda: log.append("a"))
+        sim.schedule(9, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_fifo_for_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append(1))
+        sim.schedule(1, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append("early"))
+        sim.schedule(10, lambda: log.append("late"))
+        sim.run(until=5)
+        assert log == ["early"]
+        assert sim.pending == 1
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3:
+                sim.schedule(1, chain)
+
+        sim.schedule(1, chain)
+        sim.run()
+        assert log == [1, 2, 3]
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        assert sim.run() == 5
+        assert sim.events_run == 5
+
+
+class TestLatencyAndStats:
+    def test_constant_latency(self):
+        assert ConstantLatency(3.5)(1, 2) == 3.5
+
+    def test_stats_counts(self):
+        stats = MessageStats()
+        stats.record("x")
+        stats.record("x")
+        stats.record("y")
+        assert stats.total == 3
+        assert stats.counts["x"] == 2
+
+    def test_stats_reset(self):
+        stats = MessageStats()
+        stats.record("x")
+        snapshot = stats.reset()
+        assert snapshot["x"] == 1
+        assert stats.total == 0
+
+    def test_message_layer_delays_and_counts(self):
+        sim = Simulator()
+        layer = MessageLayer(sim, ConstantLatency(2.0))
+        log = []
+        layer.send(1, 2, "ping", lambda: log.append(sim.now))
+        sim.run()
+        assert log == [2.0]
+        assert layer.stats.counts["ping"] == 1

@@ -1,0 +1,63 @@
+"""Smoke tests: the fast example scripts run end-to-end.
+
+The examples are documentation that executes; these tests keep them from
+rotting.  Only the sub-10-second examples run here (the topology-based ones
+are exercised indirectly through the figure experiments).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "average routing hops" in out
+        assert "intra-domain route stays inside" in out
+        assert "True" in out
+
+    def test_name_service(self):
+        out = run_example("name_service.py")
+        assert "A 203.0.113.10" in out
+        assert "(want None)" in out and "None  (want None)" in out
+
+    def test_campus_storage(self):
+        out = run_example("campus_storage.py")
+        assert "query stayed inside DB: True" in out
+        assert "dataset visible to EE: False" in out
+        assert "hit rate" in out
+
+    def test_examples_exist_and_are_runnable_scripts(self):
+        expected = {
+            "quickstart.py",
+            "campus_storage.py",
+            "global_deployment.py",
+            "churn_resilience.py",
+            "dht_zoo.py",
+            "multicast_pubsub.py",
+            "name_service.py",
+        }
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present
+        for name in expected:
+            source = (EXAMPLES / name).read_text()
+            assert '__name__ == "__main__"' in source
+            assert '"""' in source.splitlines()[0], f"{name} lacks a docstring"

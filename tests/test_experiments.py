@@ -1,0 +1,203 @@
+"""Smoke-run every paper experiment and assert its qualitative shape.
+
+These are the repository's headline checks: each of the paper's Figures 3-9
+is regenerated at smoke scale and the claim the paper makes about the curve
+is asserted (who wins, what trends up/down).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import (
+    fig3_links,
+    fig4_degree_pdf,
+    fig5_hops,
+    fig6_stretch,
+    fig7_locality,
+    fig8_overlap,
+    fig9_multicast,
+)
+from repro.experiments.common import get_scale, seeded_rng
+
+
+class TestScaffolding:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"fig{i}" for i in range(3, 10)} | {
+            "ablations",
+            "caching",
+            "churn",
+            "inflight",
+            "isolation",
+            "theorems",
+            "zoo",
+        }
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_seeded_rng_deterministic(self):
+        assert seeded_rng("x", 1).random() == seeded_rng("x", 1).random()
+        assert seeded_rng("x", 1).random() != seeded_rng("x", 2).random()
+
+
+class TestFig3:
+    def test_degree_close_to_log_n(self):
+        data = fig3_links.measurements("smoke")
+        for (size, levels), degree in data.items():
+            assert abs(degree - math.log2(size)) < 2.0
+
+    def test_degree_decreases_with_levels(self):
+        data = fig3_links.measurements("smoke")
+        sizes = {size for size, _ in data}
+        for size in sizes:
+            degrees = [data[(size, lv)] for lv in sorted({l for _, l in data})]
+            assert degrees[-1] <= degrees[0] + 0.1
+
+    def test_table_renders(self):
+        assert "Figure 3" in fig3_links.run("smoke").render()
+
+
+class TestFig4:
+    def test_pdfs_normalised(self):
+        for pdf in fig4_degree_pdf.distributions("smoke").values():
+            assert abs(sum(pdf.values()) - 1.0) < 1e-9
+
+    def test_left_tail_grows_with_levels(self):
+        """Paper: the PDF flattens to the left of the mean as levels grow."""
+        dists = fig4_degree_pdf.distributions("smoke")
+        levels = sorted(dists)
+        mean_first = sum(d * p for d, p in dists[levels[0]].items())
+        left_mass = {
+            lv: sum(p for d, p in dists[lv].items() if d < mean_first - 1)
+            for lv in levels
+        }
+        assert left_mass[levels[-1]] >= left_mass[levels[0]]
+
+    def test_max_degree_stable(self):
+        dists = fig4_degree_pdf.distributions("smoke")
+        maxima = {lv: max(pdf) for lv, pdf in dists.items()}
+        levels = sorted(maxima)
+        assert maxima[levels[-1]] <= maxima[levels[0]] + 4
+
+
+class TestFig5:
+    def test_hops_near_half_log(self):
+        data = fig5_hops.measurements("smoke")
+        for (size, levels), hops in data.items():
+            assert hops <= 0.5 * math.log2(size) + 1.5
+            assert hops >= 0.5 * math.log2(size) - 1.0
+
+    def test_hierarchy_penalty_bounded(self):
+        """Paper: at most +0.7 hops regardless of the number of levels."""
+        data = fig5_hops.measurements("smoke")
+        sizes = {size for size, _ in data}
+        levels = sorted({lv for _, lv in data})
+        for size in sizes:
+            penalty = data[(size, levels[-1])] - data[(size, levels[0])]
+            assert penalty <= 0.7 + 0.3
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig6_stretch.measurements("smoke")
+
+    def test_all_systems_measured(self, data):
+        systems = {label for label, _ in data}
+        assert systems == {
+            "Chord (No Prox.)",
+            "Crescendo (No Prox.)",
+            "Chord (Prox.)",
+            "Crescendo (Prox.)",
+        }
+
+    def test_crescendo_beats_chord(self, data):
+        sizes = {size for _, size in data}
+        for size in sizes:
+            assert (
+                data[("Crescendo (No Prox.)", size)][0]
+                < data[("Chord (No Prox.)", size)][0]
+            )
+            assert (
+                data[("Crescendo (Prox.)", size)][0]
+                < data[("Chord (Prox.)", size)][0]
+            )
+
+    def test_prox_helps_both(self, data):
+        sizes = {size for _, size in data}
+        for size in sizes:
+            assert (
+                data[("Chord (Prox.)", size)][0]
+                < data[("Chord (No Prox.)", size)][0]
+            )
+            assert (
+                data[("Crescendo (Prox.)", size)][0]
+                <= data[("Crescendo (No Prox.)", size)][0] + 0.2
+            )
+
+    def test_stretch_above_one(self, data):
+        assert all(v[0] >= 1.0 for v in data.values())
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig7_locality.measurements("smoke")
+
+    def test_crescendo_latency_collapses_with_locality(self, data):
+        series = [data[("Crescendo (No Prox.)", lv)] for lv in (0, 1, 2, 3, 4)]
+        assert series[-1] < series[0] / 20, "Level-4 queries nearly free"
+        assert all(x >= y for x, y in zip(series, series[1:]))
+
+    def test_chord_barely_improves(self, data):
+        series = [data[("Chord (Prox.)", lv)] for lv in (0, 1, 2, 3, 4)]
+        assert series[-1] > series[0] / 4, "flat routing has no path locality"
+
+    def test_crescendo_prox_best_at_top_level(self, data):
+        assert (
+            data[("Crescendo (Prox.)", 0)] <= data[("Chord (Prox.)", 0)] * 1.1
+        )
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig8_overlap.measurements("smoke")
+
+    def test_crescendo_overlap_grows_with_level(self, data):
+        hops = [data[("Crescendo", lv)][0] for lv in (0, 1, 2, 3, 4)]
+        assert hops[3] > hops[0]
+        assert hops[3] > 0.5
+
+    def test_latency_overlap_above_hop_overlap(self, data):
+        for lv in (1, 2, 3):
+            hop, lat = data[("Crescendo", lv)]
+            assert lat >= hop, "non-overlapping local hops are cheap"
+
+    def test_chord_overlap_low(self, data):
+        for lv in (1, 2, 3):
+            assert data[("Chord (Prox.)", lv)][0] < 0.5
+
+    def test_crescendo_beats_chord(self, data):
+        for lv in (1, 2, 3, 4):
+            assert data[("Crescendo", lv)][0] > data[("Chord (Prox.)", lv)][0]
+
+
+class TestFig9:
+    def test_crescendo_uses_far_fewer_interdomain_links(self):
+        data = fig9_multicast.measurements("smoke")
+        for depth in (1, 2):
+            crescendo = data[("Crescendo", depth)]
+            chord = data[("Chord (Prox.)", depth)]
+            assert crescendo < chord / 2, (
+                f"depth {depth}: {crescendo} vs {chord}"
+            )
+
+    def test_table_has_ratio_column(self):
+        table = fig9_multicast.run("smoke")
+        assert "ratio" in table.columns

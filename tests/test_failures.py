@@ -1,0 +1,122 @@
+"""Tests for fault isolation (Section 2.2's headline property) and static
+resilience under random failures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.chord import ChordNetwork
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.simulation.failures import (
+    fail_outside_domain,
+    fail_random,
+    intra_domain_isolation,
+    path_stays_inside,
+    survival_under_random_failures,
+)
+
+
+@pytest.fixture(scope="module")
+def nets():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(600, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 3, rng)
+    crescendo = CrescendoNetwork(space, hierarchy).build()
+    chord = ChordNetwork(space, hierarchy).build()
+    return crescendo, chord
+
+
+class TestHelpers:
+    def test_fail_outside_domain(self, nets):
+        crescendo, _ = nets
+        domain = crescendo.hierarchy.path_of(crescendo.node_ids[0])[:1]
+        alive = fail_outside_domain(crescendo, domain)
+        assert alive == set(crescendo.hierarchy.members(domain))
+
+    def test_fail_random_fraction(self, nets):
+        crescendo, _ = nets
+        alive = fail_random(crescendo, 0.25, random.Random(1))
+        assert len(alive) == crescendo.size - int(crescendo.size * 0.25)
+
+    def test_fail_random_validation(self, nets):
+        crescendo, _ = nets
+        with pytest.raises(ValueError):
+            fail_random(crescendo, 1.0, random.Random(0))
+
+
+class TestFaultIsolation:
+    def test_crescendo_fully_isolated(self, nets):
+        """Killing every node outside a domain leaves intra-domain routing
+        untouched: 100% delivery, identical hop counts."""
+        crescendo, _ = nets
+        domain = crescendo.hierarchy.path_of(crescendo.node_ids[0])[:1]
+        report = intra_domain_isolation(crescendo, domain, random.Random(2))
+        assert report.success_rate == 1.0
+        assert report.hop_inflation == pytest.approx(1.0)
+
+    def test_crescendo_isolated_at_leaf_level(self, nets):
+        crescendo, _ = nets
+        domain = crescendo.hierarchy.path_of(crescendo.node_ids[1])[:2]
+        report = intra_domain_isolation(crescendo, domain, random.Random(3))
+        assert report.success_rate == 1.0
+
+    def test_chord_degrades(self, nets):
+        """Flat Chord loses intra-domain queries when outsiders die."""
+        crescendo, chord = nets
+        domain = chord.hierarchy.path_of(chord.node_ids[0])[:1]
+        report = intra_domain_isolation(chord, domain, random.Random(4))
+        assert report.success_rate < 1.0
+
+    def test_small_domain_rejected(self, nets):
+        crescendo, _ = nets
+        with pytest.raises(ValueError):
+            intra_domain_isolation(crescendo, ("no-such",), random.Random(0))
+
+    def test_path_stays_inside_all_pairs(self, nets):
+        crescendo, chord = nets
+        rng = random.Random(5)
+        for _ in range(100):
+            a, b = rng.sample(crescendo.node_ids, 2)
+            assert path_stays_inside(crescendo, a, b)
+
+    def test_chord_paths_leak(self, nets):
+        """Flat Chord routes between same-domain nodes regularly leave it."""
+        crescendo, chord = nets
+        rng = random.Random(6)
+        hierarchy = chord.hierarchy
+        leaks = 0
+        trials = 0
+        while trials < 100:
+            a = rng.choice(chord.node_ids)
+            peers = [
+                m
+                for m in hierarchy.members(hierarchy.path_of(a)[:1])
+                if m != a
+            ]
+            if not peers:
+                continue
+            b = rng.choice(peers)
+            trials += 1
+            leaks += not path_stays_inside(chord, a, b)
+        assert leaks > 30
+
+
+class TestRandomFailures:
+    def test_survival_decreases_with_failures(self, nets):
+        crescendo, _ = nets
+        rates = survival_under_random_failures(
+            crescendo, [0.0, 0.2, 0.5], random.Random(7), samples=120
+        )
+        assert rates[0] == 1.0
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_moderate_failures_mostly_survive(self, nets):
+        crescendo, _ = nets
+        (rate,) = survival_under_random_failures(
+            crescendo, [0.1], random.Random(8), samples=150
+        )
+        assert rate > 0.7

@@ -1,0 +1,226 @@
+"""Unit + property tests for the conceptual hierarchy of domains."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import (
+    ROOT,
+    Hierarchy,
+    build_uniform_hierarchy,
+    format_name,
+    hierarchy_from_names,
+    is_ancestor,
+    lca,
+    lca_depth,
+    parse_name,
+    uniform_tree_paths,
+    zipf_weights,
+)
+
+LABELS = st.text(alphabet="abc", min_size=1, max_size=2)
+PATHS = st.lists(LABELS, min_size=0, max_size=4).map(tuple)
+
+
+class TestNames:
+    def test_parse_simple(self):
+        assert parse_name("stanford.cs.db") == ("stanford", "cs", "db")
+
+    def test_parse_empty_is_root(self):
+        assert parse_name("") == ROOT
+
+    def test_roundtrip(self):
+        assert format_name(parse_name("a.b.c")) == "a.b.c"
+
+    def test_custom_separator(self):
+        assert parse_name("a/b", sep="/") == ("a", "b")
+
+    @given(PATHS)
+    def test_roundtrip_property(self, path):
+        assert parse_name(format_name(path)) == path
+
+
+class TestLca:
+    def test_common_prefix(self):
+        assert lca(("a", "b", "c"), ("a", "b", "d")) == ("a", "b")
+
+    def test_disjoint(self):
+        assert lca(("a",), ("b",)) == ROOT
+
+    def test_identical(self):
+        assert lca(("a", "b"), ("a", "b")) == ("a", "b")
+
+    def test_prefix_case(self):
+        assert lca(("a", "b"), ("a",)) == ("a",)
+
+    def test_lca_depth(self):
+        assert lca_depth(("a", "b", "c"), ("a", "b", "d")) == 2
+
+    @given(PATHS, PATHS)
+    def test_lca_is_ancestor_of_both(self, a, b):
+        shared = lca(a, b)
+        assert is_ancestor(shared, a)
+        assert is_ancestor(shared, b)
+
+    @given(PATHS, PATHS)
+    def test_lca_symmetric(self, a, b):
+        assert lca(a, b) == lca(b, a)
+
+    def test_is_ancestor(self):
+        assert is_ancestor((), ("a", "b"))
+        assert is_ancestor(("a",), ("a", "b"))
+        assert not is_ancestor(("a", "b"), ("a",))
+        assert not is_ancestor(("b",), ("a", "b"))
+
+
+class TestHierarchy:
+    def test_place_and_lookup(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        assert h.path_of(1) == ("a", "x")
+        assert 1 in h
+        assert len(h) == 1
+
+    def test_duplicate_placement_rejected(self):
+        h = Hierarchy()
+        h.place(1, ("a",))
+        with pytest.raises(ValueError):
+            h.place(1, ("b",))
+
+    def test_members_at_each_level(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        h.place(2, ("a", "y"))
+        h.place(3, ("b", "x"))
+        assert sorted(h.members(ROOT)) == [1, 2, 3]
+        assert sorted(h.members(("a",))) == [1, 2]
+        assert h.members(("a", "x")) == [1]
+        assert h.members(("b",)) == [3]
+
+    def test_sorted_members_cached_and_correct(self):
+        h = Hierarchy()
+        for i in (5, 3, 9):
+            h.place(i, ("a",))
+        assert h.sorted_members(("a",)) == [3, 5, 9]
+        h.place(1, ("a",))
+        assert h.sorted_members(("a",)) == [1, 3, 5, 9], "cache must invalidate"
+
+    def test_remove(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        h.place(2, ("a", "x"))
+        h.remove(1)
+        assert 1 not in h
+        assert h.members(("a",)) == [2]
+        assert h.members(ROOT) == [2]
+
+    def test_ancestor_chain_leaf_first(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        assert h.ancestor_chain(1) == [("a", "x"), ("a",), ROOT]
+
+    def test_lca_of_nodes(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        h.place(2, ("a", "y"))
+        h.place(3, ("b", "x"))
+        assert h.lca_of_nodes(1, 2) == ("a",)
+        assert h.lca_of_nodes(1, 3) == ROOT
+        assert h.common_domain_depth(1, 2) == 1
+
+    def test_max_depth(self):
+        h = Hierarchy()
+        h.place(1, ("a",))
+        h.place(2, ("b", "x", "p"))
+        assert h.max_depth == 3
+
+    def test_leaf_domains(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        h.place(2, ("b",))
+        leaves = {d.path for d in h.leaf_domains()}
+        assert leaves == {("a", "x"), ("b",)}
+
+    def test_domain_tree_structure(self):
+        h = Hierarchy()
+        h.add_domain(("a", "x"))
+        dom = h.domain(("a",))
+        assert dom.label == "a"
+        assert dom.depth == 1
+        assert not dom.is_leaf
+        assert dom.child("x").is_leaf
+
+    def test_has_domain(self):
+        h = Hierarchy()
+        h.add_domain(("a", "x"))
+        assert h.has_domain(("a",))
+        assert not h.has_domain(("zz",))
+
+    def test_nodes_in_same_domain(self):
+        h = Hierarchy()
+        h.place(1, ("a", "x"))
+        h.place(2, ("a", "y"))
+        assert sorted(h.nodes_in_same_domain(1, 1)) == [1, 2]
+        assert h.nodes_in_same_domain(1, 2) == [1]
+
+
+class TestZipf:
+    def test_weights_normalised(self):
+        weights = zipf_weights(10)
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(10, 1.25)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_first_over_second_ratio(self):
+        weights = zipf_weights(10, 1.25)
+        assert abs(weights[0] / weights[1] - 2**1.25) < 1e-9
+
+
+class TestBuilders:
+    def test_uniform_tree_paths_count(self):
+        assert len(uniform_tree_paths(3, 2)) == 9
+
+    def test_uniform_tree_paths_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform_tree_paths(0, 1)
+
+    def test_one_level_is_flat(self):
+        h = build_uniform_hierarchy(range(10), 4, 1, random.Random(0))
+        assert all(h.path_of(i) == ROOT for i in range(10))
+        assert h.max_depth == 0
+
+    def test_levels_give_depth(self):
+        h = build_uniform_hierarchy(range(100), 3, 4, random.Random(0))
+        assert all(len(h.path_of(i)) == 3 for i in range(100))
+
+    def test_zipf_skews_branch_sizes(self):
+        h = build_uniform_hierarchy(range(4000), 10, 2, random.Random(1), "zipf")
+        sizes = sorted(
+            (h.member_count((str(k),)) for k in range(10)), reverse=True
+        )
+        assert sizes[0] > 2.0 * sizes[5], "Zipf(1.25) should skew branches"
+
+    def test_uniform_distribution_even(self):
+        h = build_uniform_hierarchy(range(4000), 10, 2, random.Random(1), "uniform")
+        sizes = [h.member_count((str(k),)) for k in range(10)]
+        assert max(sizes) < 2 * min(sizes)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            build_uniform_hierarchy(range(5), 2, 2, random.Random(0), "pareto")
+
+    def test_hierarchy_from_names(self):
+        h = hierarchy_from_names({7: "stanford.cs.db", 8: "stanford.ee"})
+        assert h.path_of(7) == ("stanford", "cs", "db")
+        assert h.lca_of_nodes(7, 8) == ("stanford",)
+
+    def test_total_placement(self):
+        h = build_uniform_hierarchy(range(500), 10, 3, random.Random(2))
+        assert len(h) == 500
+        assert sorted(h.members(ROOT)) == list(range(500))

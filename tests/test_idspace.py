@@ -1,0 +1,196 @@
+"""Unit + property tests for the identifier space primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.idspace import (
+    IdSpace,
+    predecessor_index,
+    sorted_unique,
+    successor_index,
+)
+
+IDS8 = st.integers(min_value=0, max_value=255)
+
+
+class TestIdSpaceBasics:
+    def test_size(self):
+        assert IdSpace(8).size == 256
+        assert IdSpace(32).size == 2**32
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+
+    def test_contains(self):
+        space = IdSpace(8)
+        assert space.contains(0)
+        assert space.contains(255)
+        assert not space.contains(256)
+        assert not space.contains(-1)
+
+    def test_validate_passes_through(self):
+        assert IdSpace(8).validate(42) == 42
+
+    def test_validate_raises(self):
+        with pytest.raises(ValueError):
+            IdSpace(8).validate(300)
+
+    def test_add_wraps(self):
+        space = IdSpace(8)
+        assert space.add(250, 10) == 4
+
+    def test_prefix(self):
+        space = IdSpace(8)
+        assert space.prefix(0b10110011, 3) == 0b101
+        assert space.prefix(0b10110011, 0) == 0
+        assert space.prefix(0b10110011, 8) == 0b10110011
+
+    def test_prefix_bad_length(self):
+        with pytest.raises(ValueError):
+            IdSpace(8).prefix(1, 9)
+
+    def test_top_bit(self):
+        space = IdSpace(8)
+        assert space.top_bit(0) == -1
+        assert space.top_bit(1) == 0
+        assert space.top_bit(128) == 7
+
+
+class TestDistances:
+    def test_ring_distance_forward(self):
+        space = IdSpace(4)
+        assert space.ring_distance(2, 5) == 3
+
+    def test_ring_distance_wraps(self):
+        space = IdSpace(4)
+        assert space.ring_distance(14, 2) == 4
+
+    def test_ring_distance_self(self):
+        assert IdSpace(4).ring_distance(7, 7) == 0
+
+    def test_ring_distance_asymmetric(self):
+        space = IdSpace(4)
+        assert space.ring_distance(2, 5) + space.ring_distance(5, 2) == 16
+
+    def test_xor_distance_symmetric(self):
+        space = IdSpace(8)
+        assert space.xor_distance(12, 200) == space.xor_distance(200, 12)
+
+    def test_xor_distance_zero_iff_equal(self):
+        space = IdSpace(8)
+        assert space.xor_distance(9, 9) == 0
+        assert space.xor_distance(9, 10) != 0
+
+    @given(a=IDS8, b=IDS8, c=IDS8)
+    def test_xor_triangle_inequality(self, a, b, c):
+        space = IdSpace(8)
+        assert space.xor_distance(a, c) <= space.xor_distance(
+            a, b
+        ) + space.xor_distance(b, c)
+
+    @given(a=IDS8, b=IDS8)
+    def test_ring_distances_sum_to_size(self, a, b):
+        space = IdSpace(8)
+        if a == b:
+            assert space.ring_distance(a, b) == 0
+        else:
+            assert space.ring_distance(a, b) + space.ring_distance(b, a) == 256
+
+
+class TestHashing:
+    def test_hash_deterministic(self):
+        space = IdSpace(32)
+        assert space.hash_key("hello") == space.hash_key("hello")
+
+    def test_hash_in_range(self):
+        space = IdSpace(8)
+        for key in ("a", "b", 42, b"raw"):
+            assert 0 <= space.hash_key(key) < 256
+
+    def test_hash_bytes_vs_str_differ_or_not_crash(self):
+        space = IdSpace(32)
+        space.hash_key(b"abc")
+        space.hash_key("abc")
+
+    def test_random_id_in_range(self):
+        space = IdSpace(8)
+        rng = random.Random(1)
+        assert all(0 <= space.random_id(rng) < 256 for _ in range(50))
+
+    def test_random_ids_distinct(self):
+        space = IdSpace(8)
+        ids = space.random_ids(100, random.Random(2))
+        assert len(set(ids)) == 100
+
+    def test_random_ids_too_many(self):
+        with pytest.raises(ValueError):
+            IdSpace(2).random_ids(5, random.Random(0))
+
+    def test_random_id_numpy_generator(self):
+        import numpy as np
+
+        space = IdSpace(16)
+        gen = np.random.default_rng(3)
+        assert 0 <= space.random_id(gen) < space.size
+
+
+class TestSuccessorIndex:
+    def test_exact_match(self):
+        assert successor_index([10, 20, 30], 20) == 1
+
+    def test_between(self):
+        assert successor_index([10, 20, 30], 15) == 1
+
+    def test_wraps(self):
+        assert successor_index([10, 20, 30], 35) == 0
+
+    def test_before_first(self):
+        assert successor_index([10, 20, 30], 5) == 0
+
+    @given(st.lists(IDS8, min_size=1, max_size=20, unique=True), IDS8)
+    def test_matches_bruteforce(self, ids, target):
+        ids = sorted(ids)
+        idx = successor_index(ids, target)
+        geq = [i for i in ids if i >= target]
+        expected = min(geq) if geq else ids[0]
+        assert ids[idx] == expected
+
+
+class TestPredecessorIndex:
+    def test_exact_match(self):
+        assert predecessor_index([10, 20, 30], 20) == 1
+
+    def test_between(self):
+        assert predecessor_index([10, 20, 30], 25) == 1
+
+    def test_wraps(self):
+        assert predecessor_index([10, 20, 30], 5) == 2
+
+    @given(st.lists(IDS8, min_size=1, max_size=20, unique=True), IDS8)
+    def test_matches_bruteforce(self, ids, target):
+        ids = sorted(ids)
+        idx = predecessor_index(ids, target)
+        leq = [i for i in ids if i <= target]
+        expected = max(leq) if leq else ids[-1]
+        assert ids[idx] == expected
+
+    @given(st.lists(IDS8, min_size=1, max_size=20, unique=True), IDS8)
+    def test_responsibility_rule(self, ids, key):
+        """The predecessor-or-equal node is responsible for [own, next)."""
+        ids = sorted(ids)
+        space = IdSpace(8)
+        owner = ids[predecessor_index(ids, key)]
+        dist_owner = space.ring_distance(owner, key)
+        assert all(
+            space.ring_distance(i, key) >= dist_owner for i in ids
+        ), "some node is clockwise-closer behind the key than the owner"
+
+
+def test_sorted_unique():
+    assert sorted_unique([3, 1, 2, 3, 1]) == [1, 2, 3]

@@ -1,0 +1,38 @@
+"""Tests for the in-flight failure sensitivity study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.inflight_study import TIMINGS, measurements, run
+
+
+class TestInflightStudy:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return measurements("smoke")
+
+    def test_all_timings_measured(self, data):
+        assert set(data) == set(TIMINGS)
+
+    def test_delivery_rates_valid(self, data):
+        assert all(0.0 <= rate <= 1.0 for rate in data.values())
+
+    def test_post_landing_crashes_are_free(self, data):
+        """Crashing after every lookup has completed cannot hurt them."""
+        assert data["after landing"] == 1.0
+
+    def test_late_crashes_hurt_less(self, data):
+        """The later the batch lands, the fewer lookups are still exposed."""
+        assert data["mid-flight (hop 4)"] >= data["mid-flight (hop 2)"] - 0.02
+        assert data["after landing"] >= data["mid-flight (hop 4)"]
+
+    def test_early_crashes_survivable(self, data):
+        """Even a 10% batch before launch leaves most lookups deliverable
+        (leaf sets route around the bodies)."""
+        assert data["before launch"] > 0.75
+
+    def test_table(self):
+        table = run("smoke")
+        assert "crash timing" in table.columns
+        assert len(table.rows) == len(TIMINGS)

@@ -1,0 +1,153 @@
+"""Tests for flat Kademlia: buckets, contacts, XOR routing."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_xor
+from repro.dhts.kademlia import (
+    KademliaNetwork,
+    bucket_bounds,
+    bucket_members_range,
+    choose_bucket_contact,
+    find_closest,
+)
+
+
+class TestBucketGeometry:
+    def test_bounds_flip_bit(self):
+        space = IdSpace(8)
+        lo, hi = bucket_bounds(0b10110000, 4, space)
+        assert lo == 0b10100000
+        assert hi == 0b10110000
+
+    def test_bounds_distance_invariant(self):
+        """Members of bucket k are exactly at XOR distance [2**k, 2**(k+1))."""
+        space = IdSpace(8)
+        node = 0b10110011
+        for k in range(8):
+            lo, hi = bucket_bounds(node, k, space)
+            for other in range(256):
+                in_bucket = lo <= other < hi
+                in_distance = (1 << k) <= space.xor_distance(node, other) < (
+                    1 << (k + 1)
+                )
+                assert in_bucket == in_distance
+
+    @given(node=st.integers(0, 255), k=st.integers(0, 7))
+    def test_bounds_size(self, node, k):
+        lo, hi = bucket_bounds(node, k, IdSpace(8))
+        assert hi - lo == 1 << k
+
+    def test_members_range_matches_bruteforce(self):
+        space = IdSpace(8)
+        rng = random.Random(0)
+        members = sorted(space.random_ids(40, rng))
+        node = members[0]
+        for k in range(8):
+            i, j = bucket_members_range(node, k, members, space)
+            got = set(members[i:j])
+            expected = {
+                m
+                for m in members
+                if (1 << k) <= space.xor_distance(node, m) < (1 << (k + 1))
+            }
+            assert got == expected
+
+    def test_empty_bucket_range(self):
+        space = IdSpace(8)
+        i, j = bucket_members_range(0, 7, [0, 1], space)
+        assert i == j
+
+
+class TestContactChoice:
+    def test_deterministic_picks_closest(self):
+        space = IdSpace(8)
+        members = sorted([0b0000_0000, 0b1000_0001, 0b1100_0000])
+        contacts = choose_bucket_contact(0, 7, members, space)
+        assert contacts == [0b1000_0001]  # xor distance 129 < 192
+
+    def test_random_picks_within_bucket(self):
+        space = IdSpace(8)
+        members = sorted([0, 129, 192, 255])
+        rng = random.Random(1)
+        seen = set()
+        for _ in range(60):
+            seen.update(choose_bucket_contact(0, 7, members, space, rng))
+        assert seen == {129, 192, 255}
+
+    def test_count(self):
+        space = IdSpace(8)
+        members = sorted([0, 129, 192, 255])
+        assert len(choose_bucket_contact(0, 7, members, space, count=2)) == 2
+
+    def test_empty(self):
+        assert choose_bucket_contact(0, 3, [0, 128], IdSpace(8)) == []
+
+
+class TestNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        rng = random.Random(2)
+        space = IdSpace(32)
+        ids = space.random_ids(600, rng)
+        h = build_uniform_hierarchy(ids, 4, 1, rng)
+        return KademliaNetwork(space, h, rng).build()
+
+    def test_one_contact_per_nonempty_bucket(self, net):
+        space = net.space
+        members = net.node_ids
+        for node in members[:40]:
+            expected_buckets = {
+                k
+                for k in range(space.bits)
+                if bucket_members_range(node, k, members, space)[0]
+                != bucket_members_range(node, k, members, space)[1]
+            }
+            got_buckets = {
+                space.xor_distance(node, link).bit_length() - 1
+                for link in net.links[node]
+            }
+            assert got_buckets == expected_buckets
+
+    def test_degree_logarithmic(self, net):
+        assert net.average_degree() < 1.5 * math.log2(net.size)
+
+    def test_routing_total(self, net):
+        rng = random.Random(3)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_xor(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_hops_logarithmic(self, net):
+        rng = random.Random(4)
+        hops = [
+            route_xor(net, *rng.sample(net.node_ids, 2)).hops for _ in range(200)
+        ]
+        assert statistics.mean(hops) < math.log2(net.size)
+
+    def test_bucket_size_replication(self):
+        rng = random.Random(5)
+        space = IdSpace(16)
+        ids = space.random_ids(200, rng)
+        h = build_uniform_hierarchy(ids, 4, 1, rng)
+        k1 = KademliaNetwork(space, h, random.Random(6), bucket_size=1).build()
+        k3 = KademliaNetwork(space, h, random.Random(6), bucket_size=3).build()
+        assert k3.average_degree() > k1.average_degree()
+
+    def test_find_closest_exact(self, net):
+        rng = random.Random(7)
+        space = net.space
+        for _ in range(60):
+            key = space.random_id(rng)
+            found = find_closest(net, rng.choice(net.node_ids), key)
+            best = min(space.xor_distance(n, key) for n in net.node_ids)
+            assert space.xor_distance(found, key) == best

@@ -1,0 +1,147 @@
+"""Tests for Kandy — Canonical Kademlia (Section 3.3).
+
+Includes the counterexample justifying the per-bucket reading of the paper's
+filter (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.hierarchy import Hierarchy
+from repro.core.routing import route_xor
+from repro.dhts.kademlia import KademliaNetwork, bucket_members_range
+from repro.dhts.kandy import KandyNetwork
+
+
+def build(size=500, levels=3, fanout=4, seed=0, bits=32):
+    rng = random.Random(seed)
+    space = IdSpace(bits)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, fanout, levels, rng)
+    return KandyNetwork(space, h, rng).build()
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build()
+
+
+class TestLiteralFilterCounterexample:
+    """With D = {0000, 0001} and target 1000, the literal global-threshold
+    filter would leave both D members without any link into the target's
+    subtree; the per-bucket rule keeps routing total."""
+
+    def test_per_bucket_rule_keeps_bucket3_link(self):
+        space = IdSpace(4)
+        h = Hierarchy()
+        h.place(0b0000, ("D",))
+        h.place(0b0001, ("D",))
+        h.place(0b1000, ("E",))
+        net = KandyNetwork(space, h).build()
+        # Literal reading: threshold = shortest link distance = 1 (to 0001),
+        # so the bucket-3 candidate at distance 8 would be dropped and 1000
+        # would be unreachable.  Per-bucket: bucket 3 is empty within D, so
+        # the contact comes from the enclosing domain.
+        assert 0b1000 in net.links[0b0000]
+        r = route_xor(net, 0b0000, 0b1000)
+        assert r.success and r.terminal == 0b1000
+
+
+class TestLowestDomainRule:
+    def test_contact_from_lowest_populated_domain(self, net):
+        """The bucket-k contact comes from the deepest enclosing domain with
+        a non-empty bucket k."""
+        space = net.space
+        hierarchy = net.hierarchy
+        for node in net.node_ids[:40]:
+            chain = hierarchy.ancestor_chain(node)
+            for k, depth in net.contact_depth[node].items():
+                for domain in chain:
+                    members = hierarchy.sorted_members(domain)
+                    i, j = bucket_members_range(node, k, members, space)
+                    if i != j:
+                        assert len(domain) == depth, (
+                            f"bucket {k} of {node}: contact depth {depth}, "
+                            f"but domain {domain} already has members"
+                        )
+                        break
+
+    def test_links_match_contact_depths(self, net):
+        for node in net.node_ids[:40]:
+            assert len(net.links[node]) <= len(net.contact_depth[node]) * net.bucket_size
+
+    def test_degree_matches_flat_kademlia(self, net):
+        """One contact per globally non-empty bucket: same budget as flat."""
+        rng = random.Random(1)
+        h1 = build_uniform_hierarchy(list(net.node_ids), 4, 1, rng)
+        flat = KademliaNetwork(net.space, h1, rng).build()
+        assert abs(net.average_degree() - flat.average_degree()) < 1e-9
+
+
+class TestRouting:
+    def test_total_delivery(self, net):
+        rng = random.Random(2)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_xor(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_hops_logarithmic(self, net):
+        rng = random.Random(3)
+        hops = [
+            route_xor(net, *rng.sample(net.node_ids, 2)).hops for _ in range(200)
+        ]
+        assert statistics.mean(hops) < math.log2(net.size)
+
+    def test_intra_domain_path_locality(self, net):
+        """A route between same-domain nodes stays within the domain."""
+        rng = random.Random(4)
+        hierarchy = net.hierarchy
+        for _ in range(100):
+            a, b = rng.sample(net.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            r = route_xor(net, a, b)
+            assert r.success
+            assert all(
+                hierarchy.path_of(n)[: len(shared)] == shared for n in r.path
+            )
+
+    def test_local_contacts_preferred(self, net):
+        """Most of a node's links point inside its own low-level domains."""
+        hierarchy = net.hierarchy
+        local, total = 0, 0
+        for node in net.node_ids:
+            path = hierarchy.path_of(node)
+            for link in net.links[node]:
+                total += 1
+                local += hierarchy.path_of(link)[:1] == path[:1]
+        # Domains hold ~1/4 of nodes each (fanout 4) but most buckets are
+        # small-distance ones resolvable locally.
+        assert local / total > 0.4
+
+
+class TestDeterministicVariant:
+    def test_closest_contact_selection(self):
+        net = build(size=200, seed=5)
+        deterministic = KandyNetwork(net.space, net.hierarchy, rng=None).build()
+        space = net.space
+        hierarchy = net.hierarchy
+        for node in deterministic.node_ids[:20]:
+            for k, depth in deterministic.contact_depth[node].items():
+                domain = hierarchy.path_of(node)[:depth]
+                members = hierarchy.sorted_members(domain)
+                i, j = bucket_members_range(node, k, members, space)
+                bucket = members[i:j]
+                chosen = [
+                    l
+                    for l in deterministic.links[node]
+                    if space.xor_distance(node, l).bit_length() - 1 == k
+                ]
+                if bucket and chosen:
+                    best = min(bucket, key=lambda m: space.xor_distance(node, m))
+                    assert best in chosen

@@ -1,0 +1,90 @@
+"""Property tests for the multicast service's structural invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.multicast import MulticastService
+
+
+def build_net(seed, size=150):
+    rng = random.Random(seed)
+    space = IdSpace(16)
+    ids = space.random_ids(size, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 2, rng)
+    return CrescendoNetwork(space, hierarchy).build(), rng
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), sub_count=st.integers(1, 40))
+def test_publish_reaches_exactly_subscribers(seed, sub_count):
+    """Delivery set == subscriber set, for any membership."""
+    net, rng = build_net(seed)
+    service = MulticastService(net)
+    service.create_topic("t")
+    subscribers = set(rng.sample(net.node_ids, sub_count))
+    for node in subscribers:
+        service.subscribe(node, "t")
+    report = service.publish("t")
+    assert report.delivered == subscribers
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), sub_count=st.integers(2, 30))
+def test_tree_is_acyclic_and_rooted(seed, sub_count):
+    """Every tree node is reachable from the root exactly once (it's a tree)."""
+    net, rng = build_net(seed)
+    service = MulticastService(net)
+    topic = service.create_topic("t")
+    for node in rng.sample(net.node_ids, sub_count):
+        service.subscribe(node, "t")
+    edges = service.tree_edges("t")
+    children_of = {}
+    for parent, child in edges:
+        children_of.setdefault(parent, set()).add(child)
+    seen = set()
+    stack = [topic.root]
+    while stack:
+        node = stack.pop()
+        for child in children_of.get(node, ()):
+            assert child not in seen, "cycle or multiple parents"
+            seen.add(child)
+            stack.append(child)
+    tree_nodes = {n for e in edges for n in e}
+    assert tree_nodes <= seen | {topic.root}
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_unsubscribe_all_empties_tree(seed):
+    net, rng = build_net(seed)
+    service = MulticastService(net)
+    service.create_topic("t")
+    subs = rng.sample(net.node_ids, 12)
+    for node in subs:
+        service.subscribe(node, "t")
+    for node in subs:
+        service.unsubscribe(node, "t")
+    assert service.tree_edges("t") == set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), sub_count=st.integers(2, 25))
+def test_tree_edges_subset_of_reversed_query_paths(seed, sub_count):
+    """Grafting only ever reverses edges that some query path used."""
+    from repro.core.routing import route_ring
+
+    net, rng = build_net(seed)
+    service = MulticastService(net)
+    topic = service.create_topic("t")
+    allowed = set()
+    for node in rng.sample(net.node_ids, sub_count):
+        route = service.subscribe(node, "t")
+        allowed.update((b, a) for a, b in route.edges())
+    assert service.tree_edges("t") <= allowed

@@ -1,0 +1,142 @@
+"""Tests for the application-level multicast service."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.chord import ChordNetwork
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.multicast import MulticastService
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(500, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 3, rng)
+    crescendo = CrescendoNetwork(space, hierarchy).build()
+    chord = ChordNetwork(space, hierarchy).build()
+    return crescendo, chord, rng
+
+
+class TestTopics:
+    def test_create(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        topic = svc.create_topic("news")
+        assert topic.root == crescendo.responsible_node(
+            crescendo.space.hash_key("news")
+        )
+
+    def test_duplicate_rejected(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("dup")
+        with pytest.raises(ValueError):
+            svc.create_topic("dup")
+
+
+class TestSubscribePublish:
+    def test_all_subscribers_receive(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("sports")
+        subs = set(rng.sample(crescendo.node_ids, 60))
+        for node in subs:
+            svc.subscribe(node, "sports")
+        report = svc.publish("sports")
+        assert report.delivered_all(subs)
+
+    def test_message_count_equals_tree_edges(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("tech")
+        for node in rng.sample(crescendo.node_ids, 40):
+            svc.subscribe(node, "tech")
+        report = svc.publish("tech")
+        assert report.messages == len(svc.tree_edges("tech"))
+
+    def test_tree_sharing(self, env):
+        """Same-domain subscribers share their spine: edges grow sublinearly."""
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("shared")
+        domain_members = crescendo.hierarchy.members(
+            crescendo.hierarchy.path_of(crescendo.node_ids[0])[:1]
+        )
+        total_path_edges = 0
+        for node in domain_members[:30]:
+            route = svc.subscribe(node, "shared")
+            total_path_edges += route.hops
+        assert len(svc.tree_edges("shared")) < total_path_edges
+
+    def test_subscriber_latencies_reported(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo, latency_fn=lambda a, b: 2.0)
+        svc.create_topic("lat")
+        subs = rng.sample(crescendo.node_ids, 10)
+        for node in subs:
+            svc.subscribe(node, "lat")
+        report = svc.publish("lat")
+        for node in subs:
+            assert report.latencies[node] > 0 or node == svc.topics["lat"].root
+
+    def test_root_subscriber(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        topic = svc.create_topic("self")
+        svc.subscribe(topic.root, "self")
+        report = svc.publish("self")
+        assert topic.root in report.delivered
+
+
+class TestUnsubscribe:
+    def test_pruning(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("prune")
+        subs = rng.sample(crescendo.node_ids, 20)
+        for node in subs:
+            svc.subscribe(node, "prune")
+        edges_before = len(svc.tree_edges("prune"))
+        for node in subs:
+            svc.unsubscribe(node, "prune")
+        assert len(svc.tree_edges("prune")) == 0
+        assert edges_before > 0
+
+    def test_partial_unsubscribe_keeps_others(self, env):
+        crescendo, _, rng = env
+        svc = MulticastService(crescendo)
+        svc.create_topic("part")
+        keep, drop = rng.sample(crescendo.node_ids, 2)
+        svc.subscribe(keep, "part")
+        svc.subscribe(drop, "part")
+        svc.unsubscribe(drop, "part")
+        report = svc.publish("part")
+        assert keep in report.delivered
+        assert drop not in report.delivered
+
+
+class TestInterdomainCost:
+    def test_crescendo_cheaper_than_chord(self, env):
+        """Figure 9 at application level: Crescendo's dissemination tree
+        crosses far fewer top-level domain boundaries."""
+        crescendo, chord, rng = env
+        subs = rng.sample(crescendo.node_ids, 150)
+        reports = {}
+        for label, net in (("crescendo", crescendo), ("chord", chord)):
+            svc = MulticastService(net)
+            svc.create_topic("video")
+            for node in subs:
+                svc.subscribe(node, "video")
+            reports[label] = svc.publish("video")
+        assert (
+            reports["crescendo"].interdomain_links[1]
+            < reports["chord"].interdomain_links[1] / 2
+        )
+        assert reports["crescendo"].delivered_all(set(subs))
+        assert reports["chord"].delivered_all(set(subs))

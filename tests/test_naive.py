@@ -1,0 +1,73 @@
+"""Tests for the naive per-level Chord strawman (ablation baseline)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.dhts.naive import NaiveHierarchicalChord
+
+
+@pytest.fixture(scope="module")
+def nets():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(400, rng)
+    hierarchy = build_uniform_hierarchy(ids, 4, 3, rng)
+    naive = NaiveHierarchicalChord(space, hierarchy).build()
+    crescendo = CrescendoNetwork(space, hierarchy).build()
+    return naive, crescendo
+
+
+class TestNaive:
+    def test_superset_of_crescendo_links(self, nets):
+        """Crescendo's links are a subset of the naive construction's."""
+        naive, crescendo = nets
+        for node in crescendo.node_ids:
+            assert set(crescendo.links[node]) <= set(naive.links[node])
+
+    def test_degree_blowup(self, nets):
+        """The naive construction pays ~levels x the state."""
+        naive, crescendo = nets
+        assert naive.average_degree() > 1.5 * crescendo.average_degree()
+
+    def test_routing_still_works(self, nets):
+        naive, _ = nets
+        rng = random.Random(1)
+        for _ in range(100):
+            a, b = rng.sample(naive.node_ids, 2)
+            r = route_ring(naive, a, b)
+            assert r.success and r.terminal == b
+
+    def test_locality_holds_too(self, nets):
+        """The strawman has the same locality — it just overpays for it."""
+        naive, _ = nets
+        rng = random.Random(2)
+        hierarchy = naive.hierarchy
+        for _ in range(60):
+            a, b = rng.sample(naive.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            r = route_ring(naive, a, b)
+            assert all(
+                hierarchy.path_of(n)[: len(shared)] == shared for n in r.path
+            )
+
+    def test_hops_no_better_than_marginally(self, nets):
+        """Nearly doubled state buys well under a 2x hop improvement —
+        the paper's state-vs-hops tradeoff argument."""
+        import statistics
+
+        naive, crescendo = nets
+        rng = random.Random(3)
+        pairs = [rng.sample(naive.node_ids, 2) for _ in range(200)]
+        naive_hops = statistics.mean(route_ring(naive, a, b).hops for a, b in pairs)
+        cres_hops = statistics.mean(
+            route_ring(crescendo, a, b).hops for a, b in pairs
+        )
+        state_ratio = naive.average_degree() / crescendo.average_degree()
+        hop_ratio = cres_hops / naive_hops
+        assert hop_ratio < state_ratio

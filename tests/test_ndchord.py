@@ -1,0 +1,187 @@
+"""Tests for nondeterministic Chord and ND-Crescendo (Section 3.2)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.hierarchy import Hierarchy, lca
+from repro.core.routing import route_ring
+from repro.dhts.ndchord import NDChordNetwork, NDCrescendoNetwork, annulus_choice
+
+
+class TestAnnulusChoice:
+    def test_in_range(self):
+        space = IdSpace(8)
+        rng = random.Random(0)
+        members = sorted(space.random_ids(40, rng))
+        node = members[0]
+        for _ in range(100):
+            choice = annulus_choice(node, members, 8, 16, space, rng)
+            if choice is not None:
+                assert 8 <= space.ring_distance(node, choice) < 16
+
+    def test_empty_annulus(self):
+        space = IdSpace(8)
+        assert annulus_choice(0, [0, 128], 2, 4, space, random.Random(0)) is None
+
+    def test_never_self(self):
+        space = IdSpace(8)
+        members = [0, 5]
+        for _ in range(50):
+            choice = annulus_choice(0, members, 1, 256, space, random.Random(1))
+            assert choice != 0
+
+    def test_full_circle_annulus(self):
+        space = IdSpace(8)
+        members = [10, 20, 30]
+        rng = random.Random(2)
+        picks = {annulus_choice(10, members, 1, 256, space, rng) for _ in range(100)}
+        assert picks == {20, 30}
+
+    def test_lower_bound_validation(self):
+        space = IdSpace(8)
+        with pytest.raises(ValueError):
+            annulus_choice(0, [0, 1], 0, 4, space, random.Random(0))
+
+    def test_uniformity(self):
+        """Each member of the annulus is picked with similar frequency."""
+        space = IdSpace(8)
+        members = sorted([0, 100, 110, 120, 130])
+        rng = random.Random(3)
+        counts = {m: 0 for m in members[1:]}
+        for _ in range(4000):
+            counts[annulus_choice(0, members, 64, 256, space, rng)] += 1
+        values = list(counts.values())
+        assert max(values) < 2 * min(values)
+
+
+class TestNDChord:
+    @pytest.fixture(scope="class")
+    def net(self):
+        rng = random.Random(4)
+        space = IdSpace(32)
+        ids = space.random_ids(500, rng)
+        h = build_uniform_hierarchy(ids, 4, 1, rng)
+        return NDChordNetwork(space, h, rng).build()
+
+    def test_octave_rule(self, net):
+        """Every link lies in some octave [2**k, 2**(k+1))  — trivially true —
+        and no two non-successor links share an octave redundantly beyond
+        the rule's one-per-octave budget."""
+        space = net.space
+        for node in net.node_ids[:50]:
+            octaves = [
+                space.ring_distance(node, link).bit_length() - 1
+                for link in net.links[node]
+            ]
+            # one choice per octave, plus possibly the successor sharing one
+            assert len(octaves) - len(set(octaves)) <= 1
+
+    def test_successor_linked(self, net):
+        ids = net.node_ids
+        for i, node in enumerate(ids[:100]):
+            assert ids[(i + 1) % len(ids)] in net.links[node]
+
+    def test_degree_logarithmic(self, net):
+        assert net.average_degree() < 1.5 * math.log2(net.size)
+
+    def test_routing_total(self, net):
+        rng = random.Random(5)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_ring(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_hops_logarithmic(self, net):
+        rng = random.Random(6)
+        hops = [
+            route_ring(net, *rng.sample(net.node_ids, 2)).hops for _ in range(200)
+        ]
+        assert statistics.mean(hops) < 1.5 * math.log2(net.size)
+
+
+class TestNDCrescendo:
+    @pytest.fixture(scope="class")
+    def net(self):
+        rng = random.Random(7)
+        space = IdSpace(32)
+        ids = space.random_ids(500, rng)
+        h = build_uniform_hierarchy(ids, 4, 3, rng)
+        return NDCrescendoNetwork(space, h, rng).build()
+
+    def test_constrained_choice(self, net):
+        """Section 3.2: inter-domain links lie in [2**k, min(2**(k+1), gap))."""
+        space = net.space
+        hierarchy = net.hierarchy
+        for node in net.node_ids[:60]:
+            path = hierarchy.path_of(node)
+            for link in net.links[node]:
+                shared = lca(path, hierarchy.path_of(link))
+                if len(shared) >= len(path):
+                    continue
+                own = hierarchy.sorted_members(path[: len(shared) + 1])
+                own_dists = [space.ring_distance(node, o) for o in own if o != node]
+                if own_dists:
+                    assert space.ring_distance(node, link) < min(own_dists) or any(
+                        link == m
+                        for m in _level_successors(hierarchy, node, len(shared))
+                    )
+
+    def test_paper_example(self):
+        """The Section 3.2 worked example: node m with own-ring neighbor at
+        distance 12 must not link to a node at distance 14, but may link to
+        one at distance 10."""
+        space = IdSpace(4)
+        h = Hierarchy()
+        h.place(0, ("A",))
+        h.place(12, ("A",))  # closest own-ring node at distance 12
+        h.place(10, ("B",))  # candidate p at distance 10: allowed
+        h.place(14, ("B",))  # candidate q at distance 14: must be excluded
+        rng = random.Random(8)
+        links_seen = set()
+        for _ in range(50):
+            net = NDCrescendoNetwork(space, h, random.Random(rng.random())).build()
+            links_seen.update(net.links[0])
+        assert 14 not in links_seen, "distance-14 candidate violates the gap"
+        assert 10 in links_seen, "distance-10 candidate should be choosable"
+
+    def test_routing_total(self, net):
+        rng = random.Random(9)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_ring(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_locality(self, net):
+        rng = random.Random(10)
+        hierarchy = net.hierarchy
+        for _ in range(100):
+            a, b = rng.sample(net.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            r = route_ring(net, a, b)
+            assert all(
+                hierarchy.path_of(n)[: len(shared)] == shared for n in r.path
+            )
+
+    def test_degree_close_to_flat(self, net):
+        rng = random.Random(11)
+        space = net.space
+        ids = list(net.node_ids)
+        h1 = build_uniform_hierarchy(ids, 4, 1, rng)
+        flat = NDChordNetwork(space, h1, rng).build()
+        assert abs(net.average_degree() - flat.average_degree()) < 3.0
+
+
+def _level_successors(hierarchy, node, max_depth):
+    out = []
+    path = hierarchy.path_of(node)
+    for depth in range(max_depth + 1):
+        members = hierarchy.sorted_members(path[:depth])
+        idx = members.index(node)
+        out.append(members[(idx + 1) % len(members)])
+    return out

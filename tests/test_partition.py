@@ -1,0 +1,148 @@
+"""Tests for partition-balanced ID allocation (§4.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.storage.partition import (
+    BalancedIdAllocator,
+    HierarchicalIdAllocator,
+    bit_reverse,
+    random_partition_ratio,
+)
+
+
+class TestBitReverse:
+    def test_simple(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+
+    def test_identity_palindromes(self):
+        assert bit_reverse(0b101, 3) == 0b101
+
+    def test_zero(self):
+        assert bit_reverse(0, 5) == 0
+
+    def test_involution(self):
+        for v in range(64):
+            assert bit_reverse(bit_reverse(v, 6), 6) == v
+
+    def test_spreads_consecutive_indices(self):
+        """Consecutive counters land in opposite halves of the space."""
+        tops = [bit_reverse(i, 4) >> 3 for i in range(8)]
+        assert tops == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+class TestBalancedAllocator:
+    def test_ratio_small_constant(self):
+        """Paper claims ratio 4 w.h.p. (one extra doubling tolerated rarely)."""
+        space = IdSpace(32)
+        ratios = []
+        for seed in (0, 1, 2, 3, 4):
+            alloc = BalancedIdAllocator(space, random.Random(seed))
+            for _ in range(800):
+                alloc.join()
+            ratios.append(alloc.partition_ratio())
+        assert max(ratios) <= 8.0
+        assert sorted(ratios)[len(ratios) // 2] <= 4.0, "median run achieves 4"
+
+    def test_far_better_than_random(self):
+        space = IdSpace(32)
+        alloc = BalancedIdAllocator(space, random.Random(3))
+        for _ in range(500):
+            alloc.join()
+        rand_ratio = random_partition_ratio(space, 500, random.Random(3))
+        assert alloc.partition_ratio() < rand_ratio / 10
+
+    def test_ids_unique(self):
+        alloc = BalancedIdAllocator(IdSpace(32), random.Random(4))
+        ids = [alloc.join() for _ in range(300)]
+        assert len(set(ids)) == 300
+
+    def test_leave_removes(self):
+        alloc = BalancedIdAllocator(IdSpace(32), random.Random(5))
+        ids = [alloc.join() for _ in range(50)]
+        alloc.leave(ids[10])
+        assert len(alloc) == 49
+        assert ids[10] not in alloc.ids
+
+    def test_ratio_survives_churn(self):
+        rng = random.Random(6)
+        alloc = BalancedIdAllocator(IdSpace(32), rng)
+        ids = [alloc.join() for _ in range(400)]
+        for _ in range(150):
+            victim = rng.choice(alloc.ids)
+            alloc.leave(victim)
+            alloc.join()
+        assert alloc.partition_ratio() <= 16.0, "bounded even under churn"
+
+    def test_partition_size_total(self):
+        alloc = BalancedIdAllocator(IdSpace(16), random.Random(7))
+        for _ in range(40):
+            alloc.join()
+        assert sum(alloc.partition_size(i) for i in alloc.ids) == 2**16
+
+    def test_single_node_owns_everything(self):
+        alloc = BalancedIdAllocator(IdSpace(16), random.Random(8))
+        first = alloc.join()
+        assert alloc.partition_size(first) == 2**16
+        assert alloc.partition_ratio() == 1.0
+
+
+class TestHierarchicalAllocator:
+    def test_all_levels_far_better_than_random(self):
+        space = IdSpace(32)
+        rng = random.Random(9)
+        alloc = HierarchicalIdAllocator(space, rng)
+        for _ in range(600):
+            alloc.join((str(rng.randrange(3)), str(rng.randrange(3))))
+        rand = random_partition_ratio(space, 600, random.Random(9))
+        assert alloc.level_ratio(()) < rand / 50
+        for a in range(3):
+            assert alloc.level_ratio((str(a),)) < rand / 10
+
+    def test_leaf_domain_ratios_bounded(self):
+        space = IdSpace(32)
+        rng = random.Random(10)
+        alloc = HierarchicalIdAllocator(space, rng)
+        for _ in range(400):
+            alloc.join((str(rng.randrange(2)), str(rng.randrange(2))))
+        for a in range(2):
+            for b in range(2):
+                assert alloc.level_ratio((str(a), str(b))) <= 128
+
+    def test_ids_unique_across_domains(self):
+        space = IdSpace(32)
+        rng = random.Random(11)
+        alloc = HierarchicalIdAllocator(space, rng)
+        ids = [alloc.join((str(i % 4),)) for i in range(300)]
+        assert len(set(ids)) == 300
+
+    def test_leave(self):
+        space = IdSpace(32)
+        alloc = HierarchicalIdAllocator(space, random.Random(12))
+        a = alloc.join(("x",))
+        b = alloc.join(("x",))
+        alloc.leave(a)
+        assert a not in alloc.hierarchy
+        assert b in alloc.hierarchy
+
+    def test_first_two_nodes_in_opposite_halves(self):
+        """Paper: if the first node's ID starts with 0, the second starts
+        with 1."""
+        space = IdSpace(32)
+        alloc = HierarchicalIdAllocator(space, random.Random(13))
+        a = alloc.join(("d",))
+        b = alloc.join(("d",))
+        assert (a >> 31) != (b >> 31)
+
+    def test_single_domain_spread(self):
+        """Members of one domain are spread: ratio far below random."""
+        space = IdSpace(32)
+        alloc = HierarchicalIdAllocator(space, random.Random(14))
+        for _ in range(256):
+            alloc.join(("solo",))
+        assert alloc.level_ratio(("solo",)) <= 16

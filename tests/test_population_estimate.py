@@ -1,0 +1,75 @@
+"""Tests for Symphony's ring-density population estimator."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace
+from repro.dhts.symphony import estimate_population
+
+
+class TestEstimate:
+    def test_small_rings_exact(self):
+        space = IdSpace(16)
+        assert estimate_population(5, [5], space) == 1.0
+
+    def test_accurate_on_average(self):
+        """Averaged over nodes, the estimate lands near the true count."""
+        space = IdSpace(32)
+        rng = random.Random(0)
+        for n in (100, 1000):
+            members = sorted(space.random_ids(n, rng))
+            estimates = [
+                estimate_population(node, members, space, probes=8)
+                for node in rng.sample(members, 50)
+            ]
+            mean = statistics.mean(estimates)
+            assert 0.4 * n < mean < 3.0 * n, f"n={n}, mean estimate {mean}"
+
+    def test_more_probes_less_variance(self):
+        space = IdSpace(32)
+        rng = random.Random(1)
+        members = sorted(space.random_ids(500, rng))
+        nodes = rng.sample(members, 60)
+        few = [estimate_population(m, members, space, probes=1) for m in nodes]
+        many = [estimate_population(m, members, space, probes=16) for m in nodes]
+        assert statistics.stdev(many) < statistics.stdev(few)
+
+    def test_two_nodes(self):
+        space = IdSpace(8)
+        # Nodes at 0 and 128: gaps of exactly half the ring each.
+        assert estimate_population(0, [0, 128], space, probes=2) == pytest.approx(2.0)
+
+
+class TestIsolationStudy:
+    def test_crescendo_perfect_chord_collapses(self):
+        from repro.experiments.isolation_study import measurements
+
+        data = measurements("smoke")
+        for depth in (1, 2):
+            rate, inflation = data[("Crescendo", depth)]
+            assert rate == 1.0
+            assert inflation == pytest.approx(1.0)
+            chord_rate, _ = data[("Chord", depth)]
+            assert chord_rate < 0.6
+
+    def test_chord_worse_at_deeper_domains(self):
+        """Smaller domains leave Chord fewer usable fingers."""
+        from repro.experiments.isolation_study import measurements
+
+        data = measurements("smoke")
+        assert data[("Chord", 2)][0] <= data[("Chord", 1)][0]
+
+
+class TestCsvExport:
+    def test_to_csv(self):
+        from repro.analysis.tables import Table
+
+        table = Table("T", ["a", "b"])
+        table.add_row(1, "x,y")
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert '"x,y"' in csv

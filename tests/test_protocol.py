@@ -1,0 +1,197 @@
+"""Tests for dynamic maintenance (Section 2.3): joins, leaves, crashes,
+stabilization, and exact convergence to the static oracle."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace
+from repro.simulation.protocol import SimulatedCrescendo
+
+
+def grown_network(size=200, seed=0, labels="ab", depth=2):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    net = SimulatedCrescendo(space)
+    ids = space.random_ids(size, rng)
+    for node_id in ids:
+        path = tuple(rng.choice(labels) for _ in range(depth))
+        net.join(node_id, path)
+    return net, ids, rng
+
+
+class TestBootstrap:
+    def test_first_node(self):
+        net = SimulatedCrescendo(IdSpace(16))
+        assert net.join(5, ("a",)) == 0
+        assert 5 in net.nodes
+
+    def test_double_bootstrap_rejected(self):
+        net = SimulatedCrescendo(IdSpace(16))
+        net.bootstrap_node(5, ("a",))
+        with pytest.raises(RuntimeError):
+            net.bootstrap_node(6, ("a",))
+
+    def test_duplicate_join_rejected(self):
+        net = SimulatedCrescendo(IdSpace(16))
+        net.join(5, ("a",))
+        with pytest.raises(ValueError):
+            net.join(5, ("a",))
+
+    def test_second_node_ring(self):
+        net = SimulatedCrescendo(IdSpace(16))
+        net.join(5, ("a",))
+        net.join(900, ("a",))
+        assert net.nodes[5].rings[0].successor == 900
+        assert net.nodes[900].rings[0].successor == 5
+
+
+class TestJoin:
+    def test_join_message_cost_logarithmic(self):
+        costs = {}
+        for size in (100, 400):
+            net, ids, rng = grown_network(size=size, seed=size)
+            samples = []
+            for _ in range(20):
+                new_id = net.space.random_id(rng)
+                while new_id in net.nodes:
+                    new_id = net.space.random_id(rng)
+                samples.append(net.join(new_id, ("a", "b")))
+            costs[size] = statistics.mean(samples)
+        for size, cost in costs.items():
+            assert cost < 12 * math.log2(size), f"join too chatty at n={size}"
+        # sub-linear growth
+        assert costs[400] < costs[100] * 2
+
+    def test_links_converge_to_oracle_after_stabilize(self):
+        net, ids, rng = grown_network(size=150, seed=1)
+        net.stabilize()
+        assert net.static_links() == net.oracle_links()
+
+    def test_rings_are_consistent_before_stabilize(self):
+        """Successor pointers form the correct ring at every level even
+        before any stabilization round."""
+        net, ids, rng = grown_network(size=120, seed=2)
+        for prefix in [(), ("a",), ("a", "b")]:
+            members = sorted(
+                n for n in net.nodes if net.nodes[n].path[: len(prefix)] == prefix
+            )
+            if len(members) < 2:
+                continue
+            depth = len(prefix)
+            for i, node in enumerate(members):
+                expected = members[(i + 1) % len(members)]
+                assert net.nodes[node].rings[depth].successor == expected
+
+    def test_lookup_total_after_join(self):
+        net, ids, rng = grown_network(size=150, seed=3)
+        for _ in range(100):
+            a, b = rng.sample(ids, 2)
+            r = net.lookup(a, b)
+            assert r.success and r.terminal == b
+
+    def test_join_with_explicit_bootstrap(self):
+        net, ids, rng = grown_network(size=50, seed=4)
+        new_id = net.space.random_id(rng)
+        messages = net.join(new_id, ("a", "a"), bootstrap_id=ids[0])
+        assert messages > 0
+        assert new_id in net.nodes
+
+
+class TestLeave:
+    def test_graceful_leave_updates_neighbors(self):
+        net, ids, rng = grown_network(size=100, seed=5)
+        victim = ids[10]
+        messages = net.leave(victim)
+        assert messages > 0
+        assert victim not in net.nodes
+        for node in net.nodes.values():
+            for ring in node.rings.values():
+                assert victim not in ring.fingers
+                assert victim not in ring.successors
+
+    def test_convergence_after_leaves(self):
+        net, ids, rng = grown_network(size=150, seed=6)
+        for victim in ids[:30]:
+            net.leave(victim)
+        rounds = net.stabilize_to_convergence()
+        assert rounds <= 3, "graceful leaves need no chain repair"
+        assert net.static_links() == net.oracle_links()
+
+    def test_lookup_after_leaves(self):
+        net, ids, rng = grown_network(size=150, seed=7)
+        for victim in ids[:30]:
+            net.leave(victim)
+        live = ids[30:]
+        for _ in range(60):
+            a, b = rng.sample(live, 2)
+            r = net.lookup(a, b)
+            assert r.success and r.terminal == b
+
+
+class TestCrash:
+    def test_crash_then_repair(self):
+        net, ids, rng = grown_network(size=150, seed=8)
+        for victim in ids[:20]:
+            net.crash(victim)
+        rounds = net.stabilize_to_convergence()
+        assert rounds <= 20
+        assert net.static_links() == net.oracle_links()
+
+    def test_lookup_survives_crashes_via_leaf_sets(self):
+        net, ids, rng = grown_network(size=200, seed=9)
+        crashed = set(ids[:20])
+        for victim in crashed:
+            net.crash(victim)
+        live = [i for i in ids if i not in crashed]
+        delivered = 0
+        for _ in range(80):
+            a, b = rng.sample(live, 2)
+            r = net.lookup(a, b)
+            delivered += r.success and r.terminal == b
+        assert delivered >= 70, "leaf sets should route around most crashes"
+
+    def test_mixed_churn_converges(self):
+        net, ids, rng = grown_network(size=200, seed=10)
+        for victim in ids[:25]:
+            (net.leave if rng.random() < 0.5 else net.crash)(victim)
+        for _ in range(10):
+            new_id = net.space.random_id(rng)
+            while new_id in net.nodes:
+                new_id = net.space.random_id(rng)
+            net.join(new_id, (rng.choice("ab"), rng.choice("ab")))
+        net.stabilize_to_convergence()
+        assert net.static_links() == net.oracle_links()
+
+
+class TestGap:
+    def test_gap_matches_lower_ring_successor(self):
+        net, ids, rng = grown_network(size=100, seed=11)
+        for node_id in ids[:20]:
+            node = net.nodes[node_id]
+            for depth in range(node.leaf_depth):
+                lower_succ = node.rings[depth + 1].successor
+                gap = net._gap(node, depth)
+                if lower_succ is None or lower_succ == node_id:
+                    assert gap == net.space.size
+                else:
+                    assert gap == net.space.ring_distance(node_id, lower_succ)
+
+
+class TestMessageAccounting:
+    def test_kinds_recorded(self):
+        net, ids, rng = grown_network(size=60, seed=12)
+        counts = net.msgs.stats.counts
+        assert counts["join_lookup"] > 0
+        assert counts["notify"] > 0
+        assert counts["join_finger"] > 0
+
+    def test_stabilize_counts(self):
+        net, ids, rng = grown_network(size=60, seed=13)
+        used = net.stabilize()
+        assert used > 0
+        assert net.msgs.stats.counts["ping"] > 0

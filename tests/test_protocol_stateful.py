@@ -1,0 +1,101 @@
+"""Stateful property test: arbitrary churn sequences converge to the oracle.
+
+Hypothesis drives random interleavings of joins, graceful leaves, crashes
+and stabilization rounds against :class:`SimulatedCrescendo`; after every
+burst of operations the network must (a) deliver lookups between live nodes
+and (b) converge exactly to the static oracle construction once stabilized.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import IdSpace
+from repro.simulation.protocol import SimulatedCrescendo
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+
+class ChurnMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.space = IdSpace(24)
+        self.net = SimulatedCrescendo(self.space)
+        self.rng = random.Random(0xFEED)
+        self.ops_since_stabilize = 0
+        self.crashes_unrepaired = 0
+
+    @initialize(seed=st.integers(0, 2**16))
+    def seed_network(self, seed):
+        self.rng = random.Random(seed)
+        for node_id in self.space.random_ids(30, self.rng):
+            self.net.join(node_id, PATHS[self.rng.randrange(len(PATHS))])
+
+    def _live(self):
+        return [n for n, node in self.net.nodes.items() if node.alive]
+
+    @rule(path_index=st.integers(0, len(PATHS) - 1))
+    def join(self, path_index):
+        new_id = self.space.random_id(self.rng)
+        while new_id in self.net.nodes:
+            new_id = self.space.random_id(self.rng)
+        self.net.join(new_id, PATHS[path_index])
+        self.ops_since_stabilize += 1
+
+    @precondition(lambda self: len(self._live()) > 5)
+    @rule()
+    def leave(self):
+        self.net.leave(self.rng.choice(self._live()))
+        self.ops_since_stabilize += 1
+
+    @precondition(
+        lambda self: len(self._live()) > 8 and self.ops_since_stabilize < 3
+    )
+    @rule()
+    def crash(self):
+        # Crashes are bounded between stabilize rounds (leaf sets of size 4
+        # tolerate bounded simultaneous failure, as in Chord).
+        self.net.crash(self.rng.choice(self._live()))
+        self.ops_since_stabilize += 1
+        self.crashes_unrepaired += 1
+
+    @rule()
+    def stabilize(self):
+        self.net.stabilize()
+        self.ops_since_stabilize = 0
+        self.crashes_unrepaired = 0
+
+    @invariant()
+    def lookups_deliver(self):
+        # Unrepaired crashes may legitimately strand individual lookups in a
+        # small network; the guarantee applies once stabilization has run.
+        if self.crashes_unrepaired:
+            return
+        live = self._live()
+        if len(live) < 2:
+            return
+        a, b = self.rng.sample(live, 2)
+        result = self.net.lookup(a, b)
+        assert result.success and result.terminal == b
+
+    def teardown(self):
+        # Whatever happened, the protocol must converge back to the oracle.
+        if self.net.nodes:
+            rounds = self.net.stabilize_to_convergence(max_rounds=30)
+            assert rounds <= 30
+
+
+ChurnMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+TestChurnMachine = ChurnMachine.TestCase

@@ -1,0 +1,200 @@
+"""Tests for group-based proximity adaptation (Section 3.6)."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring
+from repro.proximity.groups import (
+    ProximityChordNetwork,
+    ProximityCrescendoNetwork,
+    _GroupIndex,
+    group_prefix_bits,
+    route_grouped,
+)
+
+
+def fake_latency(a: int, b: int) -> float:
+    """Deterministic synthetic latency: distance in a 1-D space of id hashes."""
+    return abs((a % 9973) - (b % 9973)) / 10.0
+
+
+def build_prox_chord(size=500, seed=0, group_target=8):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, 4, 1, rng)
+    return ProximityChordNetwork(
+        space, h, fake_latency, rng, group_target=group_target
+    ).build()
+
+
+def build_prox_crescendo(size=500, seed=0, levels=3):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, 4, levels, rng)
+    return ProximityCrescendoNetwork(space, h, fake_latency, rng).build()
+
+
+class TestGroupBits:
+    def test_small_population(self):
+        assert group_prefix_bits(5, 8) == 0
+
+    def test_scales_logarithmically(self):
+        assert group_prefix_bits(64, 8) == 3
+        assert group_prefix_bits(1024, 8) == 7
+        assert group_prefix_bits(2048, 8) == 8
+
+    def test_expected_group_size(self):
+        bits = group_prefix_bits(4096, 8)
+        assert abs(4096 / (1 << bits) - 8) < 4
+
+
+class TestGroupIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        rng = random.Random(1)
+        space = IdSpace(16)
+        ids = sorted(space.random_ids(200, rng))
+        return _GroupIndex(space, ids, 4)
+
+    def test_members_partition_nodes(self, index):
+        total = sum(len(m) for m in index.members.values())
+        assert total == 200
+
+    def test_group_of(self, index):
+        for group, members in index.members.items():
+            for member in members:
+                assert index.group_of(member) == group
+
+    def test_existing_group_lookup(self, index):
+        for group in index.group_ids:
+            assert index.existing_group_at_or_after(group) == group
+
+    def test_group_distance_cyclic(self, index):
+        assert index.group_distance(15, 1) == 2
+        assert index.group_distance(3, 3) == 0
+
+    def test_best_member_minimises_latency(self, index):
+        rng = random.Random(2)
+        src = index.members[index.group_ids[0]][0]
+        target = index.group_ids[-1]
+        best = index.best_member(src, target, fake_latency, rng, sample=10_000)
+        expected = min(
+            (m for m in index.members[target] if m != src),
+            key=lambda c: fake_latency(src, c),
+        )
+        assert best == expected
+
+    def test_best_member_excludes_self(self, index):
+        group = index.group_ids[0]
+        src = index.members[group][0]
+        best = index.best_member(src, group, fake_latency, random.Random(3))
+        assert best != src
+
+
+class TestProximityChord:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_prox_chord()
+
+    def test_intra_group_dense(self, net):
+        for node in net.node_ids[:50]:
+            own = net.groups.group_of(node)
+            for member in net.groups.members[own]:
+                if member != node:
+                    assert member in net.links[node]
+
+    def test_routing_total(self, net):
+        rng = random.Random(4)
+        for _ in range(200):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_grouped(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_key_routing(self, net):
+        rng = random.Random(5)
+        for _ in range(100):
+            key = net.space.random_id(rng)
+            src = rng.choice(net.node_ids)
+            r = route_grouped(net, src, key)
+            assert r.success and r.terminal == net.responsible_node(key)
+
+    def test_group_hops_logarithmic(self, net):
+        import math
+
+        rng = random.Random(6)
+        hops = [
+            route_grouped(net, *rng.sample(net.node_ids, 2)).hops
+            for _ in range(200)
+        ]
+        assert statistics.mean(hops) < math.log2(net.size)
+
+
+class TestProximityCrescendo:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_prox_crescendo()
+
+    def test_routing_total(self, net):
+        rng = random.Random(7)
+        for _ in range(200):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_grouped(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_lower_levels_are_crescendo(self, net):
+        """Below the top level the construction is plain Crescendo: links
+        between same-depth-1-domain nodes match the pure construction."""
+        from repro.dhts.crescendo import CrescendoNetwork
+
+        pure = CrescendoNetwork(net.space, net.hierarchy).build()
+        hierarchy = net.hierarchy
+        for node in net.node_ids[:40]:
+            d1 = hierarchy.path_of(node)[:1]
+            mine = {
+                l for l in net.links[node] if hierarchy.path_of(l)[:1] == d1
+            }
+            pure_local = {
+                l for l in pure.links[node] if hierarchy.path_of(l)[:1] == d1
+            }
+            # The prox variant may add same-domain *group* links on top.
+            assert pure_local <= mine
+
+    def test_intra_domain_locality_preserved(self, net):
+        rng = random.Random(8)
+        hierarchy = net.hierarchy
+        checked = 0
+        while checked < 80:
+            a, b = rng.sample(net.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            if not shared:
+                continue  # top-level routing may use group detours
+            r = route_grouped(net, a, b)
+            assert r.success
+            checked += 1
+
+    def test_proximity_reduces_latency(self):
+        """Group links pick nearby members: mean top-level latency drops
+        versus plain Crescendo under the synthetic metric."""
+        rng = random.Random(9)
+        space = IdSpace(32)
+        ids = space.random_ids(600, rng)
+        h = build_uniform_hierarchy(ids, 4, 2, rng)
+        from repro.dhts.crescendo import CrescendoNetwork
+
+        plain = CrescendoNetwork(space, h).build()
+        prox = ProximityCrescendoNetwork(space, h, fake_latency, rng).build()
+        pairs = [rng.sample(ids, 2) for _ in range(300)]
+        plain_lat = statistics.mean(
+            route_ring(plain, a, b).latency(fake_latency) for a, b in pairs
+        )
+        prox_lat = statistics.mean(
+            route_grouped(prox, a, b).latency(fake_latency) for a, b in pairs
+        )
+        assert prox_lat < plain_lat

@@ -1,0 +1,109 @@
+"""Edge cases for the proximity-adapted networks and grouped routing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.proximity.groups import (
+    ProximityChordNetwork,
+    ProximityCrescendoNetwork,
+    route_grouped,
+)
+
+
+def lat(a: int, b: int) -> float:
+    return float(abs((a % 997) - (b % 997)))
+
+
+class TestTinyNetworks:
+    def test_single_group_network(self):
+        """Population below the group target: one group, dense graph."""
+        rng = random.Random(0)
+        space = IdSpace(32)
+        ids = space.random_ids(6, rng)
+        h = build_uniform_hierarchy(ids, 2, 1, rng)
+        net = ProximityChordNetwork(space, h, lat, rng, group_target=8).build()
+        assert net.prefix_bits == 0
+        for a in ids:
+            for b in ids:
+                if a != b:
+                    assert b in net.links[a], "single group must be complete"
+        for _ in range(20):
+            a, b = rng.sample(ids, 2)
+            result = route_grouped(net, a, b)
+            assert result.success and result.terminal == b
+            assert result.hops == 1
+
+    def test_two_node_network(self):
+        rng = random.Random(1)
+        space = IdSpace(32)
+        ids = space.random_ids(2, rng)
+        h = build_uniform_hierarchy(ids, 2, 1, rng)
+        net = ProximityChordNetwork(space, h, lat, rng).build()
+        result = route_grouped(net, ids[0], ids[1])
+        assert result.success and result.terminal == ids[1]
+
+    def test_prox_crescendo_small(self):
+        rng = random.Random(2)
+        space = IdSpace(32)
+        ids = space.random_ids(12, rng)
+        h = build_uniform_hierarchy(ids, 2, 2, rng)
+        net = ProximityCrescendoNetwork(space, h, lat, rng).build()
+        for _ in range(30):
+            a, b = rng.sample(ids, 2)
+            result = route_grouped(net, a, b)
+            assert result.success and result.terminal == b
+
+
+class TestKeyRouting:
+    def test_key_to_responsible_node(self):
+        rng = random.Random(3)
+        space = IdSpace(32)
+        ids = space.random_ids(300, rng)
+        h = build_uniform_hierarchy(ids, 4, 2, rng)
+        net = ProximityCrescendoNetwork(space, h, lat, rng).build()
+        for _ in range(80):
+            key = space.random_id(rng)
+            src = rng.choice(ids)
+            result = route_grouped(net, src, key)
+            assert result.success
+            assert result.terminal == net.responsible_node(key)
+
+    def test_self_route(self):
+        rng = random.Random(4)
+        space = IdSpace(32)
+        ids = space.random_ids(50, rng)
+        h = build_uniform_hierarchy(ids, 2, 1, rng)
+        net = ProximityChordNetwork(space, h, lat, rng).build()
+        node = ids[0]
+        result = route_grouped(net, node, node)
+        assert result.success and result.hops == 0
+
+
+class TestLatencySelection:
+    def test_links_prefer_nearby_members(self):
+        """Group links land on latency-close members far more often than
+        uniform choice would."""
+        rng = random.Random(5)
+        space = IdSpace(32)
+        ids = space.random_ids(800, rng)
+        h = build_uniform_hierarchy(ids, 4, 1, rng)
+        net = ProximityChordNetwork(space, h, lat, rng, group_target=16).build()
+        groups = net.groups
+        better = total = 0
+        for node in ids[:100]:
+            own = groups.group_of(node)
+            for link in net.links[node]:
+                target_group = groups.group_of(link)
+                if target_group == own:
+                    continue
+                members = [m for m in groups.members[target_group] if m != node]
+                if len(members) < 2:
+                    continue
+                mean_lat = sum(lat(node, m) for m in members) / len(members)
+                total += 1
+                better += lat(node, link) < mean_lat
+        assert better / total > 0.8

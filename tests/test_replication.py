@@ -1,0 +1,108 @@
+"""Tests for leaf-set replication of stored content."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.storage.replication import ReplicatedStore
+from repro.storage.store import HierarchicalStore
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(500, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 2, rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+    return net, ReplicatedStore(HierarchicalStore(net), replicas=3), rng
+
+
+class TestPlacement:
+    def test_replica_count(self, env):
+        net, store, rng = env
+        holders = store.put(net.node_ids[0], "k1", "v1")
+        assert len(holders) == 3
+        assert len(set(holders)) == 3
+
+    def test_primary_is_responsible(self, env):
+        net, store, rng = env
+        holders = store.put(net.node_ids[1], "k2", "v2")
+        key_hash = net.space.hash_key("k2")
+        assert holders[0] == net.responsible_node(key_hash)
+
+    def test_replicas_are_predecessors(self, env):
+        """Under the inverted responsibility rule, replicas go on ring
+        predecessors — the nodes that inherit the range if the primary dies."""
+        net, store, rng = env
+        holders = store.put(net.node_ids[2], "k3", "v3")
+        ids = net.node_ids
+        pos = ids.index(holders[0])
+        assert holders[1] == ids[(pos - 1) % len(ids)]
+        assert holders[2] == ids[(pos - 2) % len(ids)]
+
+    def test_domain_scoped_replicas_stay_inside(self, env):
+        net, store, rng = env
+        origin = net.node_ids[3]
+        domain = net.hierarchy.path_of(origin)[:1]
+        holders = store.put(origin, "k4", "v4", storage_domain=domain)
+        for holder in holders:
+            assert net.hierarchy.path_of(holder)[:1] == domain
+
+    def test_replica_validation(self, env):
+        net, _, _ = env
+        with pytest.raises(ValueError):
+            ReplicatedStore(HierarchicalStore(net), replicas=0)
+
+
+class TestFailureMasking:
+    def test_get_survives_primary_crash(self, env):
+        net, store, rng = env
+        origin = net.node_ids[4]
+        holders = store.put(origin, "k5", "precious")
+        alive = set(net.node_ids) - {holders[0]}
+        live_origin = next(n for n in net.node_ids if n in alive)
+        result = store.get_with_failures(live_origin, "k5", alive)
+        assert result.found
+        assert result.values == ["precious"]
+
+    def test_get_survives_two_crashes(self, env):
+        net, store, rng = env
+        origin = net.node_ids[5]
+        holders = store.put(origin, "k6", "v6")
+        alive = set(net.node_ids) - set(holders[:2])
+        live_origin = next(n for n in net.node_ids if n in alive)
+        result = store.get_with_failures(live_origin, "k6", alive)
+        assert result.found
+
+    def test_all_replicas_dead_loses_key(self, env):
+        net, store, rng = env
+        origin = net.node_ids[6]
+        holders = store.put(origin, "k7", "v7")
+        alive = set(net.node_ids) - set(holders)
+        live_origin = next(n for n in net.node_ids if n in alive)
+        result = store.get_with_failures(live_origin, "k7", alive)
+        assert not result.found
+
+    def test_dead_origin_rejected(self, env):
+        net, store, rng = env
+        holders = store.put(net.node_ids[7], "k8", "v8")
+        alive = set(net.node_ids) - {net.node_ids[8]}
+        with pytest.raises(ValueError):
+            store.get_with_failures(net.node_ids[8], "k8", alive)
+
+    def test_surviving_copies(self, env):
+        net, store, rng = env
+        holders = store.put(net.node_ids[9], "k9", "v9")
+        assert store.surviving_copies("k9", set(net.node_ids)) == 3
+        assert store.surviving_copies("k9", set(net.node_ids) - {holders[1]}) == 2
+
+    def test_failure_free_get(self, env):
+        net, store, rng = env
+        store.put(net.node_ids[10], "k10", "v10")
+        result = store.get(net.node_ids[11], "k10")
+        assert result.found and result.values == ["v10"]

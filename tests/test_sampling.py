@@ -1,0 +1,56 @@
+"""Tests for random-sampling proximity selection (§3.6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.proximity.sampling import best_of_sample, sampling_quality
+
+
+def metric(a: int, b: int) -> float:
+    return abs(a - b) / 7.0
+
+
+class TestBestOfSample:
+    def test_full_pool_gives_optimum(self):
+        rng = random.Random(0)
+        nodes = list(range(0, 1000, 7))
+        best = best_of_sample(500, nodes, metric, rng, sample=10_000)
+        assert metric(500, best) == min(metric(500, n) for n in nodes if n != 500)
+
+    def test_excludes_self(self):
+        rng = random.Random(1)
+        assert best_of_sample(3, [3, 9], metric, rng) == 9
+
+    def test_no_candidates(self):
+        with pytest.raises(ValueError):
+            best_of_sample(3, [3], metric, random.Random(0))
+
+    def test_sample_limits_probes(self):
+        """With sample=1 the choice is a single random candidate."""
+        rng = random.Random(2)
+        nodes = list(range(100))
+        picks = {best_of_sample(0, nodes, metric, rng, sample=1) for _ in range(50)}
+        assert len(picks) > 5, "sample=1 should not always find the optimum"
+
+
+class TestSamplingQuality:
+    def test_latency_decreases_with_sample_size(self):
+        rng = random.Random(3)
+        nodes = [rng.randrange(10_000) for _ in range(400)]
+        curve = sampling_quality(
+            nodes, metric, rng, sample_sizes=(1, 4, 16, 64), trials=300
+        )
+        values = [curve[s] for s in (1, 4, 16, 64)]
+        assert all(x >= y for x, y in zip(values, values[1:]))
+
+    def test_s32_close_to_exhaustive(self):
+        """The paper's claim: s = 32 is 'sufficient' — close to the best."""
+        rng = random.Random(4)
+        nodes = [rng.randrange(10_000) for _ in range(500)]
+        curve = sampling_quality(
+            nodes, metric, rng, sample_sizes=(32, 499), trials=400
+        )
+        assert curve[32] <= 16 * max(curve[499], 1e-9)

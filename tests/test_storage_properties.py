@@ -1,0 +1,120 @@
+"""Property tests for the storage layer's access-control semantics.
+
+The paper's claim (§4.1): "a query initiated by a node automatically
+retrieves exactly that content that a node is permitted to access".
+Hypothesis draws random storage/access domain combinations and random
+querier positions; the result must match the permission predicate exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.hierarchy import is_ancestor
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.storage.caching import LevelAwareCache
+from repro.storage.store import HierarchicalStore
+
+
+@pytest.fixture(scope="module")
+def net():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(300, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 3, rng)
+    return CrescendoNetwork(space, hierarchy).build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    owner_index=st.integers(0, 299),
+    querier_index=st.integers(0, 299),
+    storage_depth=st.integers(0, 3),
+    access_depth=st.integers(0, 3),
+    key_seed=st.integers(0, 10_000),
+)
+def test_access_exactly_matches_permission(
+    net, owner_index, querier_index, storage_depth, access_depth, key_seed
+):
+    """found == (querier lies inside the access domain)."""
+    store = HierarchicalStore(net)
+    owner = net.node_ids[owner_index]
+    querier = net.node_ids[querier_index]
+    owner_path = net.hierarchy.path_of(owner)
+    access_depth = min(access_depth, storage_depth)
+    storage_domain = owner_path[:storage_depth]
+    access_domain = owner_path[:access_depth]
+    key = f"key-{key_seed}"
+    store.put(owner, key, "payload", storage_domain, access_domain)
+
+    result = store.get(querier, key)
+    permitted = is_ancestor(access_domain, net.hierarchy.path_of(querier))
+    assert result.found == permitted
+    if result.found:
+        assert result.values == ["payload"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    owner_index=st.integers(0, 299),
+    storage_depth=st.integers(0, 3),
+    key_seed=st.integers(0, 10_000),
+)
+def test_content_physically_inside_storage_domain(
+    net, owner_index, storage_depth, key_seed
+):
+    """The stored bytes live on a node of the storage domain — always."""
+    store = HierarchicalStore(net)
+    owner = net.node_ids[owner_index]
+    domain = net.hierarchy.path_of(owner)[:storage_depth]
+    home, _ = store.put(owner, f"k-{key_seed}", b"x", storage_domain=domain)
+    assert net.hierarchy.path_of(home)[: len(domain)] == domain
+
+
+class TestLevelAwareCacheModel:
+    """Model-based check: the cache behaves like a bounded dict whose
+    eviction order is (level desc, recency asc)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 9),          # key
+                st.integers(1, 4),          # level
+                st.booleans(),              # get before put
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        capacity=st.integers(1, 6),
+    )
+    def test_against_model(self, ops, capacity):
+        cache = LevelAwareCache(capacity)
+        model = {}  # key -> (value, level); recency by insertion order
+        order = []  # recency list, most recent last
+
+        for key, level, read_first in ops:
+            if read_first and cache.get(key) is not None:
+                order.remove(key)
+                order.append(key)
+            effective = min(level, model[key][1]) if key in model else level
+            cache.put(key, f"v{key}", level)
+            model[key] = (f"v{key}", effective)
+            if key in order:
+                order.remove(key)
+            order.append(key)
+            while len(model) > capacity:
+                worst = max(lv for _, lv in model.values())
+                victim = next(k for k in order if model[k][1] == worst)
+                del model[victim]
+                order.remove(victim)
+
+        assert len(cache) == len(model)
+        for key, (value, level) in model.items():
+            assert cache.get(key) == value
+            assert cache.level_of(key) == level

@@ -1,0 +1,196 @@
+"""Tests for hierarchical storage, retrieval and access control (§4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.storage.store import HierarchicalStore
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(600, rng)
+    hierarchy = build_uniform_hierarchy(ids, 3, 3, rng)
+    net = CrescendoNetwork(space, hierarchy).build()
+    return net, HierarchicalStore(net), rng
+
+
+def domain_members(net, domain):
+    return net.hierarchy.members(domain)
+
+
+class TestPut:
+    def test_global_put(self, env):
+        net, store, rng = env
+        origin = net.node_ids[0]
+        home, pointer = store.put(origin, "k-global", "v")
+        assert pointer is None
+        assert home == net.responsible_node(net.space.hash_key("k-global"))
+
+    def test_home_is_domain_responsible(self, env):
+        net, store, rng = env
+        origin = net.node_ids[1]
+        domain = net.hierarchy.path_of(origin)[:2]
+        home, _ = store.put(origin, "k-local", "v", storage_domain=domain)
+        key_hash = net.space.hash_key("k-local")
+        members = net.hierarchy.sorted_members(domain)
+        assert home == net.responsible_node(key_hash, within=members)
+        assert net.hierarchy.path_of(home)[:2] == domain
+
+    def test_pointer_created_for_wider_access(self, env):
+        net, store, rng = env
+        origin = net.node_ids[2]
+        path = net.hierarchy.path_of(origin)
+        home, pointer = store.put(
+            origin, "k-ptr", "v", storage_domain=path[:2], access_domain=path[:1]
+        )
+        assert pointer is not None or home == store.home_node(
+            net.space.hash_key("k-ptr"), path[:1]
+        )
+
+    def test_storage_domain_must_contain_origin(self, env):
+        net, store, rng = env
+        origin = net.node_ids[3]
+        foreign = next(
+            net.hierarchy.path_of(n)
+            for n in net.node_ids
+            if net.hierarchy.path_of(n)[:1] != net.hierarchy.path_of(origin)[:1]
+        )
+        with pytest.raises(ValueError):
+            store.put(origin, "k", "v", storage_domain=foreign)
+
+    def test_access_must_contain_storage(self, env):
+        net, store, rng = env
+        origin = net.node_ids[4]
+        path = net.hierarchy.path_of(origin)
+        with pytest.raises(ValueError):
+            store.put(
+                origin, "k", "v", storage_domain=path[:1], access_domain=path[:2]
+            )
+
+    def test_items_at(self, env):
+        net, store, rng = env
+        origin = net.node_ids[5]
+        home, _ = store.put(origin, "k-at", "payload")
+        assert any(item.value == "payload" for item in store.items_at(home))
+
+
+class TestGet:
+    def test_global_content_found_from_anywhere(self, env):
+        net, store, rng = env
+        origin = net.node_ids[6]
+        store.put(origin, "pub", "public-value")
+        for src in rng.sample(net.node_ids, 20):
+            result = store.get(src, "pub")
+            assert result.found
+            assert result.values == ["public-value"]
+
+    def test_local_query_never_leaves_domain(self, env):
+        """Paper: a query for locally stored content never leaves the domain."""
+        net, store, rng = env
+        origin = net.node_ids[7]
+        domain = net.hierarchy.path_of(origin)[:2]
+        store.put(origin, "loc", "local-value", storage_domain=domain)
+        for src in rng.sample(domain_members(net, domain), 5):
+            result = store.get(src, "loc")
+            assert result.found
+            for hop in result.path:
+                assert net.hierarchy.path_of(hop)[:2] == domain
+
+    def test_access_control_blocks_outsiders(self, env):
+        net, store, rng = env
+        origin = net.node_ids[8]
+        path = net.hierarchy.path_of(origin)
+        store.put(
+            origin, "secret", "classified", storage_domain=path[:2],
+            access_domain=path[:1],
+        )
+        outsider = next(
+            n
+            for n in net.node_ids
+            if net.hierarchy.path_of(n)[:1] != path[:1]
+        )
+        assert not store.get(outsider, "secret").found
+
+    def test_access_domain_members_can_read(self, env):
+        net, store, rng = env
+        origin = net.node_ids[9]
+        path = net.hierarchy.path_of(origin)
+        store.put(
+            origin, "dept-doc", "body", storage_domain=path[:2],
+            access_domain=path[:1],
+        )
+        readers = [
+            n
+            for n in net.node_ids
+            if net.hierarchy.path_of(n)[:1] == path[:1]
+        ]
+        for src in rng.sample(readers, min(10, len(readers))):
+            result = store.get(src, "dept-doc")
+            assert result.found, f"reader {src} failed"
+            assert result.values == ["body"]
+
+    def test_pointer_resolution_counted(self, env):
+        net, store, rng = env
+        origin = net.node_ids[10]
+        path = net.hierarchy.path_of(origin)
+        store.put(
+            origin, "ptr-doc", "far", storage_domain=path[:2],
+            access_domain=(),
+        )
+        outsider = next(
+            n
+            for n in net.node_ids
+            if net.hierarchy.path_of(n)[:1] != path[:1]
+        )
+        result = store.get(outsider, "ptr-doc")
+        assert result.found
+        if result.via_pointer:
+            assert result.pointer_hops >= 0
+
+    def test_missing_key(self, env):
+        net, store, rng = env
+        result = store.get(net.node_ids[11], "no-such-key")
+        assert not result.found
+        assert result.values == []
+
+    def test_first_match_stops_early(self, env):
+        """Local copy shadows a global copy for in-domain queriers."""
+        net, store, rng = env
+        origin = net.node_ids[12]
+        domain = net.hierarchy.path_of(origin)[:1]
+        store.put(origin, "dual", "local-copy", storage_domain=domain)
+        store.put(origin, "dual", "global-copy")
+        result = store.get(origin, "dual", first_match=True)
+        assert result.found
+        assert len(result.values) == 1
+
+    def test_collect_all_values(self, env):
+        net, store, rng = env
+        origin = net.node_ids[13]
+        domain = net.hierarchy.path_of(origin)[:1]
+        store.put(origin, "multi", "a", storage_domain=domain)
+        store.put(origin, "multi", "b")
+        result = store.get(origin, "multi", first_match=False)
+        assert result.found
+        assert set(result.values) >= {"a", "b"}
+
+    def test_query_from_home_node(self, env):
+        net, store, rng = env
+        origin = net.node_ids[14]
+        home, _ = store.put(origin, "self-served", "x")
+        result = store.get(home, "self-served")
+        assert result.found and result.hops == 0
+
+
+class TestHomeNode:
+    def test_empty_domain_raises(self, env):
+        net, store, rng = env
+        with pytest.raises(ValueError):
+            store.home_node(0, ("missing",))

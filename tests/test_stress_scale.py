@@ -1,0 +1,71 @@
+"""Paper-scale stress checks (opt-in: REPRO_STRESS=1).
+
+The CI-speed suite tops out at a few thousand nodes; these tests build the
+paper's largest configuration (32768 nodes, 5 levels) and verify the same
+invariants.  ~1 minute; skipped unless REPRO_STRESS=1.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring
+from repro.dhts.crescendo import CrescendoNetwork
+
+stress = pytest.mark.skipif(
+    os.environ.get("REPRO_STRESS") != "1",
+    reason="set REPRO_STRESS=1 to run paper-scale stress tests",
+)
+
+
+@pytest.fixture(scope="module")
+def big_net():
+    rng = random.Random(0xB16)
+    space = IdSpace(32)
+    ids = space.random_ids(32768, rng)
+    hierarchy = build_uniform_hierarchy(
+        ids, 10, 5, rng, distribution="zipf", zipf_exponent=1.25
+    )
+    return CrescendoNetwork(space, hierarchy).build(), rng
+
+
+@stress
+class TestPaperScale:
+    def test_degree_near_log_n(self, big_net):
+        net, rng = big_net
+        assert abs(net.average_degree() - 15.0) < 1.0
+        assert net.average_degree() <= math.log2(net.size - 1) + 1
+
+    def test_max_degree_logarithmic(self, big_net):
+        net, rng = big_net
+        assert net.max_degree() <= 4 * math.log2(net.size)
+
+    def test_routing_half_log(self, big_net):
+        net, rng = big_net
+        ids = net.node_ids
+        hops = []
+        for _ in range(500):
+            a, b = rng.sample(ids, 2)
+            result = route_ring(net, a, b)
+            assert result.success and result.terminal == b
+            hops.append(result.hops)
+        mean = statistics.mean(hops)
+        assert 0.5 * math.log2(net.size) - 0.5 <= mean <= 0.5 * math.log2(net.size) + 1.2
+
+    def test_locality_at_scale(self, big_net):
+        net, rng = big_net
+        hierarchy = net.hierarchy
+        for _ in range(100):
+            a, b = rng.sample(net.node_ids, 2)
+            shared = hierarchy.lca_of_nodes(a, b)
+            result = route_ring(net, a, b)
+            assert all(
+                hierarchy.path_of(n)[: len(shared)] == shared
+                for n in result.path
+            )

@@ -1,0 +1,111 @@
+"""Tests for flat Symphony and its harmonic link distribution."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring
+from repro.dhts.symphony import SymphonyNetwork, draw_long_links, harmonic_distance
+
+
+def build(size=500, seed=0, links=0):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, 4, 1, rng)
+    return SymphonyNetwork(space, h, rng, links_per_node=links).build()
+
+
+class TestHarmonicDraw:
+    def test_distance_in_range(self):
+        space = IdSpace(16)
+        rng = random.Random(1)
+        for _ in range(500):
+            d = harmonic_distance(space, 100, rng)
+            assert 1 <= d < space.size
+
+    def test_tiny_population(self):
+        assert harmonic_distance(IdSpace(16), 1, random.Random(0)) == 1
+
+    def test_distribution_favours_short_links(self):
+        """The harmonic pdf (~1/d) yields far more short than long draws."""
+        space = IdSpace(20)
+        rng = random.Random(2)
+        draws = [harmonic_distance(space, 1024, rng) for _ in range(4000)]
+        short = sum(1 for d in draws if d < space.size // 32)
+        long = sum(1 for d in draws if d >= space.size // 2)
+        assert short > 2 * long
+
+    def test_median_scales_with_population(self):
+        """Larger populations push probability toward shorter fractions."""
+        space = IdSpace(20)
+        med_small = statistics.median(
+            harmonic_distance(space, 16, random.Random(3)) for _ in range(2001)
+        )
+        med_large = statistics.median(
+            harmonic_distance(space, 4096, random.Random(3)) for _ in range(2001)
+        )
+        assert med_large < med_small
+
+
+class TestDrawLongLinks:
+    def test_count_respected(self):
+        space = IdSpace(16)
+        rng = random.Random(4)
+        members = sorted(space.random_ids(100, rng))
+        links = draw_long_links(members[0], members, 5, space, rng)
+        assert len(links) <= 5
+        assert members[0] not in links
+
+    def test_alone_no_links(self):
+        space = IdSpace(16)
+        assert draw_long_links(7, [7], 4, space, random.Random(0)) == set()
+
+    def test_links_are_members(self):
+        space = IdSpace(16)
+        rng = random.Random(5)
+        members = sorted(space.random_ids(50, rng))
+        links = draw_long_links(members[3], members, 4, space, rng)
+        assert links <= set(members)
+
+
+class TestSymphonyNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build(size=600, seed=6)
+
+    def test_degree_about_log_n(self, net):
+        expected = int(math.log2(net.size)) + 1  # long links + successor
+        assert abs(net.average_degree() - expected) < 2.5
+
+    def test_successor_always_linked(self, net):
+        ids = net.node_ids
+        for i, node in enumerate(ids):
+            assert ids[(i + 1) % len(ids)] in net.links[node]
+
+    def test_routing_total(self, net):
+        rng = random.Random(7)
+        for _ in range(150):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_ring(net, a, b)
+            assert r.success and r.terminal == b
+
+    def test_hops_logarithmic(self, net):
+        rng = random.Random(8)
+        hops = [
+            route_ring(net, *rng.sample(net.node_ids, 2)).hops for _ in range(200)
+        ]
+        assert statistics.mean(hops) < 2 * math.log2(net.size)
+
+    def test_explicit_link_budget(self):
+        net = build(size=200, seed=9, links=3)
+        # 3 long links + successor, minus harmonic-draw dedup collisions.
+        assert net.average_degree() <= 4.0
+
+    def test_links_valid(self, net):
+        net.check_links_valid()

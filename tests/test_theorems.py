@@ -1,0 +1,120 @@
+"""Empirical validation of the paper's Theorems 1-6.
+
+The theorems are expectations / w.h.p. statements; each test measures the
+quantity over deterministic random instances and checks the stated bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.analysis.metrics import sample_routing
+from repro.dhts.chord import ChordNetwork
+from repro.dhts.crescendo import CrescendoNetwork
+
+
+def chord(size, seed):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, 10, 1, rng)
+    return ChordNetwork(space, h).build(), rng
+
+
+def crescendo(size, levels, seed):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    h = build_uniform_hierarchy(ids, 10, levels, rng)
+    return CrescendoNetwork(space, h).build(), rng
+
+
+class TestTheorem1:
+    """Chord: E[degree] <= log2(n-1) + 1."""
+
+    @pytest.mark.parametrize("size", [128, 512, 2048])
+    def test_bound(self, size):
+        net, _ = chord(size, seed=size)
+        assert net.average_degree() <= math.log2(size - 1) + 1
+
+    def test_bound_is_reasonably_tight(self):
+        net, _ = chord(2048, seed=1)
+        assert net.average_degree() >= math.log2(2047) - 1.5
+
+
+class TestTheorem2:
+    """Crescendo: E[degree] <= log2(n-1) + min(l, log2 n)."""
+
+    @pytest.mark.parametrize("levels", [2, 3, 5])
+    def test_bound(self, levels):
+        size = 1024
+        net, _ = crescendo(size, levels, seed=levels)
+        bound = math.log2(size - 1) + min(levels, math.log2(size))
+        assert net.average_degree() <= bound
+
+    def test_empirically_below_chord(self):
+        """The paper's stronger empirical claim."""
+        flat, _ = chord(1024, seed=7)
+        deep, _ = crescendo(1024, 5, seed=7)
+        assert deep.average_degree() <= flat.average_degree()
+
+
+class TestTheorem3:
+    """Crescendo: degree O(log n) w.h.p. regardless of hierarchy."""
+
+    @pytest.mark.parametrize("levels", [1, 3, 5])
+    def test_max_degree(self, levels):
+        net, _ = crescendo(2048, levels, seed=10 + levels)
+        assert net.max_degree() <= 4 * math.log2(net.size)
+
+
+class TestTheorem4:
+    """Chord: E[hops] <= 0.5*log2(n-1) + 0.5."""
+
+    @pytest.mark.parametrize("size", [256, 1024])
+    def test_bound(self, size):
+        net, rng = chord(size, seed=20 + size)
+        stats = sample_routing(net, rng, samples=600)
+        assert stats.success_rate == 1.0
+        assert stats.mean_hops <= 0.5 * math.log2(size - 1) + 0.5 + 0.25
+
+
+class TestTheorem5:
+    """Crescendo: E[hops] <= log2(n-1) + 1 for any hierarchy; empirically
+    within +0.7 of Chord (Section 5.1)."""
+
+    @pytest.mark.parametrize("levels", [2, 4])
+    def test_bound(self, levels):
+        size = 1024
+        net, rng = crescendo(size, levels, seed=30 + levels)
+        stats = sample_routing(net, rng, samples=600)
+        assert stats.success_rate == 1.0
+        assert stats.mean_hops <= math.log2(size - 1) + 1
+
+    def test_within_07_of_chord(self):
+        size = 2048
+        flat, rng1 = chord(size, seed=40)
+        deep, rng2 = crescendo(size, 5, seed=40)
+        flat_hops = sample_routing(flat, rng1, samples=800).mean_hops
+        deep_hops = sample_routing(deep, rng2, samples=800).mean_hops
+        assert deep_hops - flat_hops <= 0.7 + 0.15
+
+
+class TestTheorem6:
+    """Crescendo: routing O(log n) hops w.h.p."""
+
+    def test_tail(self):
+        net, rng = crescendo(1024, 4, seed=50)
+        hops = []
+        for _ in range(500):
+            a, b = rng.sample(net.node_ids, 2)
+            from repro.core.routing import route_ring
+
+            hops.append(route_ring(net, a, b).hops)
+        assert max(hops) <= 3 * math.log2(net.size)
+        assert statistics.quantiles(hops, n=100)[98] <= 2 * math.log2(net.size)

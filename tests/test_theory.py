@@ -1,0 +1,65 @@
+"""Tests for the analytic-bound functions and the theorems experiment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    chord_degree_bound,
+    chord_hops_bound,
+    crescendo_degree_bound,
+    crescendo_hops_bound,
+    expected_intra_hops,
+    whp_degree_envelope,
+    whp_hops_envelope,
+)
+
+
+class TestBoundFunctions:
+    def test_chord_degree_formula(self):
+        assert chord_degree_bound(1025) == pytest.approx(math.log2(1024) + 1)
+
+    def test_degenerate_sizes(self):
+        assert chord_degree_bound(1) == 0.0
+        assert crescendo_degree_bound(1, 3) == 0.0
+        assert chord_hops_bound(0) == 0.0
+        assert crescendo_hops_bound(1) == 0.0
+
+    def test_crescendo_degree_min_clause(self):
+        """min(l, log2 n): deep hierarchies stop paying after log2(n)."""
+        shallow = crescendo_degree_bound(16, 2)
+        deep = crescendo_degree_bound(16, 100)
+        assert deep == pytest.approx(math.log2(15) + 4)
+        assert shallow < deep
+
+    def test_hops_bounds_ordering(self):
+        """Crescendo's proved hop bound is weaker than Chord's (the paper
+        notes it is loose; experiments show near-equality)."""
+        for n in (64, 1024, 65536):
+            assert chord_hops_bound(n) < crescendo_hops_bound(n)
+
+    def test_envelopes_scale_logarithmically(self):
+        assert whp_degree_envelope(1024) == pytest.approx(40.0)
+        assert whp_hops_envelope(1024) == pytest.approx(30.0)
+
+    def test_expected_intra_hops(self):
+        assert expected_intra_hops(8, 8) == pytest.approx(2.0)
+        assert expected_intra_hops(0, 1) == 0.0
+
+
+class TestTheoremsExperiment:
+    def test_all_bounds_hold(self):
+        from repro.experiments.theorems import measurements
+
+        data = measurements("smoke")
+        for (metric, size), (measured, bound) in data.items():
+            assert measured <= bound, f"{metric} violated at n={size}"
+
+    def test_table_has_holds_column(self):
+        from repro.experiments.theorems import run
+
+        table = run("smoke")
+        assert "holds" in table.columns
+        assert all(value == "True" for value in table.column("holds"))

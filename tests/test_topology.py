@@ -1,0 +1,151 @@
+"""Tests for the transit-stub topology model (GT-ITM substitute)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import IdSpace
+from repro.topology.transit_stub import (
+    HOST_STUB_MS,
+    STUB_STUB_MS,
+    TRANSIT_STUB_MS,
+    TRANSIT_TRANSIT_MS,
+    TopologyParams,
+    TransitStubTopology,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return TransitStubTopology(rng=random.Random(0))
+
+
+@pytest.fixture(scope="module")
+def small_topo():
+    params = TopologyParams(
+        transit_domains=2,
+        transit_per_domain=3,
+        stub_domains_per_transit=2,
+        stub_per_domain=4,
+    )
+    return TransitStubTopology(params, rng=random.Random(1))
+
+
+class TestParams:
+    def test_paper_default_is_2040_routers(self):
+        assert TopologyParams().router_count == 2040
+
+    def test_counts(self):
+        p = TopologyParams(2, 3, 2, 4)
+        assert p.transit_count == 6
+        assert p.stub_count == 48
+        assert p.router_count == 54
+
+
+class TestGraph:
+    def test_connected(self, small_topo):
+        routers = small_topo.params.router_count
+        for b in range(0, routers, 7):
+            assert small_topo.router_latency(0, b) < float("inf")
+
+    def test_latency_symmetric(self, small_topo):
+        assert small_topo.router_latency(0, 10) == small_topo.router_latency(10, 0)
+
+    def test_self_latency_zero(self, small_topo):
+        assert small_topo.router_latency(5, 5) == 0.0
+
+    def test_latency_classes(self, small_topo):
+        """Stub-stub within a domain is cheap; crossing transit domains
+        costs at least one 100 ms link."""
+        stubs = small_topo.stub_routers
+        same_domain = [
+            s
+            for s in stubs
+            if small_topo.stub_location[s][:3] == small_topo.stub_location[stubs[0]][:3]
+        ]
+        assert len(same_domain) >= 2
+        intra = small_topo.router_latency(same_domain[0], same_domain[1])
+        assert intra <= STUB_STUB_MS * small_topo.params.stub_per_domain
+
+        other_domain = [
+            s
+            for s in stubs
+            if small_topo.stub_location[s][0] != small_topo.stub_location[stubs[0]][0]
+        ]
+        inter = small_topo.router_latency(stubs[0], other_domain[0])
+        assert inter >= TRANSIT_TRANSIT_MS
+
+    def test_stub_locations_cover_all(self, small_topo):
+        p = small_topo.params
+        locations = set(small_topo.stub_location.values())
+        assert len(locations) == p.stub_count
+        assert len(small_topo.stub_routers) == p.stub_count
+
+
+class TestAttachment:
+    def test_induced_hierarchy_depth(self, small_topo):
+        rng = random.Random(2)
+        space = IdSpace(32)
+        ids = space.random_ids(100, rng)
+        h = small_topo.attach_nodes(ids, rng)
+        assert all(len(h.path_of(i)) == 4 for i in ids)
+        assert h.max_depth == 4
+
+    def test_hierarchy_matches_stub_location(self, small_topo):
+        rng = random.Random(3)
+        ids = IdSpace(32).random_ids(50, rng)
+        h = small_topo.attach_nodes(ids, rng)
+        for node in ids:
+            router = small_topo.router_of(node)
+            td, tn, sd, sn = small_topo.stub_location[router]
+            assert h.path_of(node) == (f"t{td}", f"n{tn}", f"s{sd}", f"r{sn}")
+
+    def test_node_latency_includes_access_links(self, small_topo):
+        rng = random.Random(4)
+        ids = IdSpace(32).random_ids(20, rng)
+        small_topo.attach_nodes(ids, rng)
+        a, b = ids[0], ids[1]
+        ra, rb = small_topo.router_of(a), small_topo.router_of(b)
+        expected = 2 * HOST_STUB_MS + small_topo.router_latency(ra, rb)
+        assert small_topo.node_latency(a, b) == pytest.approx(expected)
+
+    def test_same_node_latency_zero(self, small_topo):
+        rng = random.Random(5)
+        ids = IdSpace(32).random_ids(5, rng)
+        small_topo.attach_nodes(ids, rng)
+        assert small_topo.node_latency(ids[0], ids[0]) == 0.0
+
+    def test_same_stub_costs_2ms(self, small_topo):
+        """Two hosts on the same stub router: 1 ms up + 1 ms down."""
+        rng = random.Random(6)
+        ids = IdSpace(32).random_ids(300, rng)
+        small_topo.attach_nodes(ids, rng)
+        by_router = {}
+        for node in ids:
+            by_router.setdefault(small_topo.router_of(node), []).append(node)
+        pair = next(v for v in by_router.values() if len(v) >= 2)
+        assert small_topo.node_latency(pair[0], pair[1]) == pytest.approx(2.0)
+
+    def test_average_direct_latency_positive(self, small_topo):
+        rng = random.Random(7)
+        ids = IdSpace(32).random_ids(50, rng)
+        small_topo.attach_nodes(ids, rng)
+        avg = small_topo.average_direct_latency(200, rng)
+        assert avg > 2.0
+
+
+class TestPaperScale:
+    def test_full_model_builds(self, topo):
+        assert topo.params.router_count == 2040
+        assert len(topo.stub_routers) == 2000
+
+    def test_transit_paths_dominate_cross_domain(self, topo):
+        """Crossing the core costs >= 100 ms more than staying local."""
+        stubs = topo.stub_routers
+        loc = topo.stub_location
+        s0 = stubs[0]
+        cross = next(s for s in stubs if loc[s][0] != loc[s0][0])
+        local = next(s for s in stubs[1:] if loc[s][:3] == loc[s0][:3])
+        assert topo.router_latency(s0, cross) > topo.router_latency(s0, local)

@@ -1,0 +1,127 @@
+"""Tests for workload generators (queries, multicast)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import IdSpace, build_uniform_hierarchy
+from repro.core.routing import route_ring
+from repro.dhts.crescendo import CrescendoNetwork
+from repro.workloads.multicast import (
+    count_interdomain_edges,
+    multicast_interdomain_profile,
+    multicast_tree,
+)
+from repro.workloads.queries import (
+    locality_pair,
+    locality_pairs,
+    random_pair,
+    zipf_key_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    rng = random.Random(0)
+    space = IdSpace(32)
+    ids = space.random_ids(400, rng)
+    h = build_uniform_hierarchy(ids, 3, 3, rng)
+    return CrescendoNetwork(space, h).build()
+
+
+class TestQueryWorkloads:
+    def test_random_pair_distinct(self, net):
+        rng = random.Random(1)
+        for _ in range(50):
+            a, b = random_pair(net.node_ids, rng)
+            assert a != b
+
+    def test_random_pair_too_small(self):
+        with pytest.raises(ValueError):
+            random_pair([1], random.Random(0))
+
+    def test_locality_pair_level0_any(self, net):
+        rng = random.Random(2)
+        a, b = locality_pair(net.hierarchy, net.node_ids, rng, 0)
+        assert a != b
+
+    def test_locality_pair_respects_level(self, net):
+        rng = random.Random(3)
+        for level in (1, 2, 3):
+            for _ in range(30):
+                a, b = locality_pair(net.hierarchy, net.node_ids, rng, level)
+                pa, pb = net.hierarchy.path_of(a), net.hierarchy.path_of(b)
+                assert pa[:level] == pb[:level]
+
+    def test_locality_pairs_count(self, net):
+        rng = random.Random(4)
+        pairs = list(locality_pairs(net.hierarchy, net.node_ids, rng, 2, 25))
+        assert len(pairs) == 25
+
+    def test_deep_level_clamps_to_leaf(self, net):
+        rng = random.Random(5)
+        a, b = locality_pair(net.hierarchy, net.node_ids, rng, 99)
+        assert net.hierarchy.path_of(a) == net.hierarchy.path_of(b)
+
+    def test_zipf_keys_in_range(self):
+        keys = zipf_key_workload(100, 500, random.Random(6))
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_zipf_keys_skewed(self):
+        keys = zipf_key_workload(1000, 5000, random.Random(7), exponent=1.0)
+        counts = Counter(keys)
+        top10 = sum(counts[k] for k in range(10))
+        assert top10 > 0.15 * len(keys), "popular keys dominate"
+
+
+class TestMulticast:
+    def test_tree_edges_are_route_edges(self, net):
+        rng = random.Random(8)
+        sources = rng.sample(net.node_ids, 50)
+        dest = rng.choice([n for n in net.node_ids if n not in sources])
+        edges = multicast_tree(net, route_ring, sources, dest)
+        assert edges
+        for a, b in edges:
+            assert a in net and b in net
+
+    def test_tree_smaller_than_path_sum(self, net):
+        """Path convergence makes the union smaller than the sum."""
+        rng = random.Random(9)
+        sources = rng.sample(net.node_ids, 80)
+        dest = rng.choice([n for n in net.node_ids if n not in sources])
+        total_hops = sum(
+            route_ring(net, s, dest).hops for s in sources if s != dest
+        )
+        edges = multicast_tree(net, route_ring, sources, dest)
+        assert len(edges) < total_hops
+
+    def test_source_equal_dest_skipped(self, net):
+        dest = net.node_ids[0]
+        edges = multicast_tree(net, route_ring, [dest], dest)
+        assert edges == set()
+
+    def test_count_interdomain_edges(self, net):
+        h = net.hierarchy
+        a = net.node_ids[0]
+        same = next(
+            m for m in h.members(h.path_of(a)) if m != a
+        )
+        other = next(
+            m for m in net.node_ids if h.path_of(m)[:1] != h.path_of(a)[:1]
+        )
+        edges = {(a, same), (a, other)}
+        assert count_interdomain_edges(h, edges, 1) == 1
+        assert count_interdomain_edges(h, edges, 0) == 0
+
+    def test_profile_monotone_in_depth(self, net):
+        """Finer domains can only turn intra- into inter-domain edges."""
+        rng = random.Random(10)
+        sources = rng.sample(net.node_ids, 60)
+        dest = rng.choice([n for n in net.node_ids if n not in sources])
+        profile = multicast_interdomain_profile(
+            net, route_ring, sources, dest, depths=(1, 2, 3)
+        )
+        assert profile[1] <= profile[2] <= profile[3]
