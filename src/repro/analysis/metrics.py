@@ -14,6 +14,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.network import DHTNetwork
 from ..core.routing import Route, route_ring
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.profile import PROFILER
 from ..workloads.queries import random_pair
 
 Router = Callable[[DHTNetwork, int, int], Route]
@@ -58,9 +61,24 @@ def sample_routing(
     latency_fn: Optional[LatencyFn] = None,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> RoutingStats:
-    """Route random (or given) node pairs and aggregate hops/latency."""
+    """Route random (or given) node pairs and aggregate hops/latency.
+
+    When an observability tracer or metrics registry is active
+    (:mod:`repro.obs`), every sampled route is additionally recorded: the
+    tracer gets one hop-annotated route record per attempt, and the
+    registry accumulates ``route.hops``/``route.latency``/``route.crossings``
+    histograms (crossings = top-level domain boundaries crossed, via
+    :meth:`~repro.core.routing.Route.domain_crossings`) plus
+    ``route.samples``/``route.delivered``/``messages.lookup`` counters (each
+    routing hop is one lookup message in a deployed DHT).  Neither changes
+    any routing decision.  Wall-clock time spent here accrues to the
+    ``route`` phase of :data:`repro.obs.profile.PROFILER`.
+    """
+    tracer = obs_trace.active_tracer()
+    registry = obs_metrics.active_registry()
     hops: List[int] = []
     latencies: List[float] = []
+    crossings: List[int] = []
     delivered = 0
     pair_iter = (
         pairs
@@ -68,15 +86,34 @@ def sample_routing(
         else [random_pair(network.node_ids, rng) for _ in range(samples)]
     )
     total = 0
-    for src, dst in pair_iter:
-        total += 1
-        result = router(network, src, dst)
-        if not (result.success and result.terminal == dst):
-            continue
-        delivered += 1
-        hops.append(result.hops)
-        if latency_fn is not None:
-            latencies.append(result.latency(latency_fn))
+    with PROFILER.phase("route"):
+        for src, dst in pair_iter:
+            total += 1
+            result = router(network, src, dst)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            if not (result.success and result.terminal == dst):
+                continue
+            delivered += 1
+            hops.append(result.hops)
+            if registry is not None:
+                crossings.append(result.domain_crossings(network.hierarchy))
+            if latency_fn is not None:
+                latencies.append(result.latency(latency_fn))
+    if registry is not None:
+        registry.counter("route.samples").inc(total)
+        registry.counter("route.delivered").inc(delivered)
+        registry.counter("messages.lookup").inc(sum(hops))
+        hop_hist = registry.histogram("route.hops")
+        for h in hops:
+            hop_hist.observe(h)
+        crossing_hist = registry.histogram("route.crossings")
+        for c in crossings:
+            crossing_hist.observe(c)
+        if latencies:
+            lat_hist = registry.histogram("route.latency")
+            for lat in latencies:
+                lat_hist.observe(lat)
     return RoutingStats(
         samples=total,
         delivered=delivered,

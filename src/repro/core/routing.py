@@ -14,10 +14,14 @@ hops, latencies, path overlap and domain crossings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Set
 
 from .idspace import predecessor_index, successor_index
 from .network import DHTNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..obs.trace import Tracer
+    from .hierarchy import Hierarchy
 
 #: Safety valve: no route in a well-formed network approaches this length.
 MAX_HOPS = 10_000
@@ -56,6 +60,34 @@ class Route:
     def edges(self) -> List[tuple]:
         """Consecutive (src, dst) hop pairs along the path."""
         return list(zip(self.path, self.path[1:]))
+
+    def domain_crossings(self, hierarchy: "Hierarchy", level: int = 1) -> int:
+        """Hops that cross a depth-``level`` domain boundary.
+
+        A hop from ``a`` to ``b`` crosses at ``level`` when the two nodes'
+        depth-``level`` ancestor domains differ — equivalently, when their
+        lowest common ancestor lies *above* that level.  ``level=1`` counts
+        crossings between top-level domains, the paper's fault-isolation and
+        path-convergence quantity (Figures 7-8).
+        """
+        return sum(
+            1
+            for a, b in zip(self.path, self.path[1:])
+            if hierarchy.path_of(a)[:level] != hierarchy.path_of(b)[:level]
+        )
+
+
+def _traced(route: Route, network: DHTNetwork, tracer: "Optional[Tracer]") -> Route:
+    """Emit ``route`` to ``tracer`` (if any) and return it unchanged.
+
+    Called once per finished route — never inside the hop loop — so routing
+    with no tracer attached pays a single ``is None`` check per route.  The
+    engines below inline this check at their terminal returns to avoid even
+    the extra call; helpers outside this module use this function.
+    """
+    if tracer is not None:
+        tracer.route(route, hierarchy=network.hierarchy)
+    return route
 
 
 def _best_ring_step(
@@ -101,6 +133,7 @@ def route_ring(
     src: int,
     dest_key: int,
     alive: Optional[Set[int]] = None,
+    tracer: "Optional[Tracer]" = None,
 ) -> Route:
     """Greedy clockwise routing (Chord / Crescendo / Symphony / Cacophony).
 
@@ -108,7 +141,9 @@ def route_ring(
     (Section 2.2).  Terminates at the node responsible for ``dest_key``; when
     ``dest_key`` is a node id, that is the node itself.  With an ``alive``
     filter, dead neighbors are skipped and the route fails if no live
-    neighbor makes progress.
+    neighbor makes progress.  A ``tracer`` (see :mod:`repro.obs.trace`)
+    records the finished route with per-hop hierarchy annotations; it never
+    influences routing decisions.
     """
     path = [src]
     cur = src
@@ -120,7 +155,10 @@ def route_ring(
             done = network.space.ring_distance(cur, dest_key) == 0 or _is_responsible(
                 network, cur, dest_key, alive
             )
-            return Route(path, done, dest_key)
+            result = Route(path, done, dest_key)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            return result
         path.append(nxt)
         cur = nxt
     raise RuntimeError(f"routing exceeded {MAX_HOPS} hops: likely a broken network")
@@ -143,12 +181,14 @@ def route_xor(
     src: int,
     dest_key: int,
     alive: Optional[Set[int]] = None,
+    tracer: "Optional[Tracer]" = None,
 ) -> Route:
     """Greedy XOR routing (Kademlia / Kandy / CAN bit-fixing equivalent).
 
     Each hop strictly decreases the XOR distance to ``dest_key``; terminates
     at a local minimum, which for a well-formed bucket construction is the
-    globally XOR-closest node.
+    globally XOR-closest node.  ``tracer`` records the finished route and
+    never influences routing decisions.
     """
     space = network.space
     path = [src]
@@ -156,11 +196,17 @@ def route_xor(
     cur_dist = space.xor_distance(cur, dest_key)
     for _ in range(MAX_HOPS):
         if cur_dist == 0:
-            return Route(path, True, dest_key)
+            result = Route(path, True, dest_key)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            return result
         nxt = _best_xor_step(network, cur, dest_key, cur_dist, alive)
         if nxt is None:
             success = _is_xor_closest(network, cur, dest_key, alive)
-            return Route(path, success, dest_key)
+            result = Route(path, success, dest_key)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            return result
         path.append(nxt)
         cur = nxt
         cur_dist = space.xor_distance(cur, dest_key)
@@ -221,6 +267,7 @@ def route_ring_lookahead(
     network: DHTNetwork,
     src: int,
     dest_key: int,
+    tracer: "Optional[Tracer]" = None,
 ) -> Route:
     """Greedy clockwise routing with one-step lookahead (Section 3.1).
 
@@ -228,7 +275,8 @@ def route_ring_lookahead(
     greedily picks the pair of steps that reduces the remaining clockwise
     distance the most (never overshooting); it then takes the first step of
     the best pair.  In Symphony this yields O(log n / log log n) hops — about
-    40% fewer than plain greedy in practice.
+    40% fewer than plain greedy in practice.  ``tracer`` records the
+    finished route and never influences routing decisions.
     """
     space = network.space
     path = [src]
@@ -236,7 +284,10 @@ def route_ring_lookahead(
     for _ in range(MAX_HOPS):
         remaining = space.ring_distance(cur, dest_key)
         if remaining == 0:
-            return Route(path, True, dest_key)
+            result = Route(path, True, dest_key)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            return result
         best_first: Optional[int] = None
         best_covered = 0
         for nb in network.links[cur]:
@@ -253,7 +304,10 @@ def route_ring_lookahead(
                     best_first, best_covered = nb, d2
         if best_first is None:
             done = _is_responsible(network, cur, dest_key, None)
-            return Route(path, done, dest_key)
+            result = Route(path, done, dest_key)
+            if tracer is not None:
+                tracer.route(result, hierarchy=network.hierarchy)
+            return result
         path.append(best_first)
         cur = best_first
     raise RuntimeError(f"routing exceeded {MAX_HOPS} hops: likely a broken network")

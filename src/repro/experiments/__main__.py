@@ -4,15 +4,54 @@ Examples::
 
     python -m repro.experiments fig3 --scale small
     python -m repro.experiments all --scale smoke
+    python -m repro.experiments fig5 --scale smoke \\
+        --trace t.jsonl --metrics m.json --profile -v
+
+Result tables go to stdout; progress narration goes through the
+``repro.experiments`` logger (stderr; ``-v`` for INFO, ``-vv`` for DEBUG,
+``-q`` for errors only).  ``--trace`` records every sampled route (hop
+annotated with hierarchy level/domain) plus one span per experiment as
+JSONL; ``--metrics`` writes hop/latency histograms and message counts by
+type as JSON; ``--profile`` reports build vs. route vs. analysis wall time
+per run.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.profile import PROFILER
 from . import EXPERIMENTS
+
+logger = logging.getLogger("repro.experiments")
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Map -q/-v/-vv counts onto the root ``repro`` logger level."""
+    level = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}.get(
+        verbosity, logging.DEBUG
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+
+
+def _profile_report(name: str, total: float) -> str:
+    """Build/route/analysis breakdown of one experiment run."""
+    build = PROFILER.totals.get("build", 0.0)
+    route = PROFILER.totals.get("route", 0.0)
+    analysis = max(0.0, total - build - route)
+    return (
+        f"[profile {name}] total {total:.2f}s = "
+        f"build {build:.2f}s + route {route:.2f}s + analysis {analysis:.2f}s"
+    )
 
 
 def main(argv=None) -> int:
@@ -37,8 +76,57 @@ def main(argv=None) -> int:
         default="RESULTS.md",
         help="output path for the 'report' command (default RESULTS.md)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="record spans and hop-annotated routes; write JSONL here "
+        "(convert for chrome://tracing with repro.obs.trace.jsonl_to_chrome)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.json",
+        help="collect counters/histograms (hops, latency, messages by type); "
+        "write a metrics snapshot JSON here",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report build vs. route vs. analysis wall time per run (stderr)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="log errors only",
+    )
     args = parser.parse_args(argv)
+    _configure_logging(-1 if args.quiet else args.verbose)
 
+    tracer = obs_trace.activate(obs_trace.Tracer()) if args.trace else None
+    registry = obs_metrics.activate(obs_metrics.MetricsRegistry()) if args.metrics else None
+    try:
+        exit_code = _dispatch(args)
+    finally:
+        if tracer is not None:
+            tracer.export_jsonl(args.trace)
+            logger.info("wrote %d trace records to %s", len(tracer), args.trace)
+            obs_trace.deactivate()
+        if registry is not None:
+            registry.export_json(args.metrics)
+            logger.info("wrote metrics snapshot to %s", args.metrics)
+            obs_metrics.deactivate()
+    return exit_code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command with observability already activated."""
     if args.experiment == "report":
         from .report import generate
 
@@ -55,15 +143,27 @@ def main(argv=None) -> int:
             table = EXPERIMENTS[name].run(args.scale)
             path = out_dir / f"{name}.csv"
             path.write_text(table.to_csv() + "\n")
-            print(f"wrote {path}")
+            logger.info("wrote %s", path)
+        print(f"wrote {len(EXPERIMENTS)} CSV files to {out_dir}")
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    tracer = obs_trace.active_tracer()
     for name in names:
+        logger.info("running %s at %s scale", name, args.scale)
+        PROFILER.reset()
         start = time.time()
-        table = EXPERIMENTS[name].run(args.scale)
+        if tracer is not None:
+            with tracer.span(name, scale=args.scale):
+                table = EXPERIMENTS[name].run(args.scale)
+        else:
+            table = EXPERIMENTS[name].run(args.scale)
+        elapsed = time.time() - start
         print(table.render())
-        print(f"[{name} @ {args.scale}: {time.time() - start:.1f}s]\n")
+        logger.info("%s @ %s: %.1fs", name, args.scale, elapsed)
+        if args.profile:
+            print(_profile_report(name, elapsed), file=sys.stderr)
+            logger.debug("phase detail:\n%s", PROFILER.report())
     return 0
 
 

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.hierarchy import Hierarchy, build_uniform_hierarchy
 from ..core.idspace import IdSpace
+from ..obs.profile import PROFILER
 from ..dhts.chord import ChordNetwork
 from ..dhts.crescendo import CrescendoNetwork
 from ..proximity.groups import (
@@ -94,13 +95,19 @@ def seeded_rng(*tokens: object) -> random.Random:
 def build_crescendo(
     size: int, levels: int, rng: random.Random, space: Optional[IdSpace] = None
 ) -> CrescendoNetwork:
-    """A Crescendo on the paper's synthetic hierarchy (levels=1 == Chord)."""
-    space = space or IdSpace()
-    ids = space.random_ids(size, rng)
-    hierarchy = build_uniform_hierarchy(
-        ids, FANOUT, levels, rng, distribution="zipf", zipf_exponent=ZIPF_EXPONENT
-    )
-    return CrescendoNetwork(space, hierarchy).build()
+    """A Crescendo on the paper's synthetic hierarchy (levels=1 == Chord).
+
+    Build time accrues to the ``build`` phase of
+    :data:`repro.obs.profile.PROFILER` (reported by the CLI ``--profile``
+    flag).
+    """
+    with PROFILER.phase("build"):
+        space = space or IdSpace()
+        ids = space.random_ids(size, rng)
+        hierarchy = build_uniform_hierarchy(
+            ids, FANOUT, levels, rng, distribution="zipf", zipf_exponent=ZIPF_EXPONENT
+        )
+        return CrescendoNetwork(space, hierarchy).build()
 
 
 @dataclass
@@ -128,22 +135,27 @@ def build_topology_setup(
     include_flat: bool = True,
     group_target: int = 8,
 ) -> TopologySetup:
-    """Attach ``size`` nodes to a fresh transit-stub graph; build all four systems."""
-    rng = seeded_rng("topo", seed_token, size)
-    topology = TransitStubTopology(TopologyParams(), rng=rng)
-    space = IdSpace()
-    node_ids = space.random_ids(size, rng)
-    hierarchy = topology.attach_nodes(node_ids, rng)
-    latency = topology.node_latency
-    direct = topology.average_direct_latency(min(4000, size * 4), rng)
-    chord = ChordNetwork(space, hierarchy).build()
-    crescendo = CrescendoNetwork(space, hierarchy).build()
-    chord_prox = ProximityChordNetwork(
-        space, hierarchy, latency, rng, group_target=group_target
-    ).build()
-    crescendo_prox = ProximityCrescendoNetwork(
-        space, hierarchy, latency, rng, group_target=group_target
-    ).build()
+    """Attach ``size`` nodes to a fresh transit-stub graph; build all four systems.
+
+    Build time accrues to the ``build`` phase of
+    :data:`repro.obs.profile.PROFILER`.
+    """
+    with PROFILER.phase("build"):
+        rng = seeded_rng("topo", seed_token, size)
+        topology = TransitStubTopology(TopologyParams(), rng=rng)
+        space = IdSpace()
+        node_ids = space.random_ids(size, rng)
+        hierarchy = topology.attach_nodes(node_ids, rng)
+        latency = topology.node_latency
+        direct = topology.average_direct_latency(min(4000, size * 4), rng)
+        chord = ChordNetwork(space, hierarchy).build()
+        crescendo = CrescendoNetwork(space, hierarchy).build()
+        chord_prox = ProximityChordNetwork(
+            space, hierarchy, latency, rng, group_target=group_target
+        ).build()
+        crescendo_prox = ProximityCrescendoNetwork(
+            space, hierarchy, latency, rng, group_target=group_target
+        ).build()
     return TopologySetup(
         topology=topology,
         space=space,

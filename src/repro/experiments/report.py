@@ -7,9 +7,12 @@ paper's figures plus the ablation/caching/churn studies and writes them to
 
 from __future__ import annotations
 
+import logging
 import time
 from pathlib import Path
 from typing import Optional
+
+logger = logging.getLogger("repro.experiments.report")
 
 
 def generate(scale: str = "smoke", out_path: Optional[str] = None) -> str:
@@ -24,6 +27,7 @@ def generate(scale: str = "smoke", out_path: Optional[str] = None) -> str:
         "",
     ]
     for name in sorted(EXPERIMENTS):
+        logger.info("running %s at %s scale", name, scale)
         start = time.time()
         table = EXPERIMENTS[name].run(scale)
         sections.append(table.to_markdown())

@@ -1,0 +1,57 @@
+"""Observability: tracing, metrics and profiling for the whole stack.
+
+The paper's evaluation is a measurement exercise — hops, latency stretch,
+locality, fault isolation — so the reproduction carries a first-class,
+zero-dependency observability layer:
+
+- :mod:`repro.obs.trace` — span/event tracing with a context-manager API
+  and per-hop route tracing annotated with the hierarchy level and domain
+  each hop was taken at (the quantity behind Figures 7-8).  Exports JSONL
+  and Chrome ``chrome://tracing`` trace-event files.
+- :mod:`repro.obs.metrics` — a process-local registry of counters, gauges
+  and fixed-bucket histograms with snapshot/diff/merge and CSV/JSON export.
+- :mod:`repro.obs.profile` — phase timers (build vs route vs analysis) and
+  an opt-in sampling profiler.
+
+Instrumentation is pay-for-what-you-use: with no tracer or registry
+activated, the hot routing loop performs no per-hop work — a single
+``is None`` check per *route* (not per hop) is the only overhead.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    collecting,
+)
+from .profile import PROFILER, PhaseProfiler, SamplingProfiler
+from .trace import (
+    HopAnnotation,
+    Tracer,
+    active_tracer,
+    annotate_hops,
+    jsonl_to_chrome,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HopAnnotation",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PROFILER",
+    "PhaseProfiler",
+    "SamplingProfiler",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "annotate_hops",
+    "collecting",
+    "jsonl_to_chrome",
+    "tracing",
+]

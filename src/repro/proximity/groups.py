@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Set
 from ..core.hierarchy import Hierarchy
 from ..core.idspace import IdSpace, predecessor_index, successor_index
 from ..core.network import DHTNetwork
-from ..core.routing import MAX_HOPS, Route
+from ..core.routing import MAX_HOPS, Route, _traced
 from ..dhts.crescendo import CrescendoNetwork
 
 LatencyFn = Callable[[int, int], float]
@@ -191,7 +191,7 @@ class ProximityCrescendoNetwork(CrescendoNetwork):
                 k += 1
 
 
-def route_grouped(network, src: int, dest_key: int) -> Route:
+def route_grouped(network, src: int, dest_key: int, tracer=None) -> Route:
     """Two-stage routing for proximity-adapted networks (Section 3.6).
 
     Stage 1: greedy clockwise toward the *end* of the destination group's
@@ -200,7 +200,8 @@ def route_grouped(network, src: int, dest_key: int) -> Route:
     node's group, the dense intra-group structure finishes in one hop.
     Works for both ``ProximityChordNetwork`` and
     ``ProximityCrescendoNetwork`` (whose lower-level Crescendo links simply
-    participate in stage 1).
+    participate in stage 1).  A ``tracer`` (:mod:`repro.obs.trace`) records
+    the finished route; it never influences routing decisions.
     """
     space = network.space
     groups = network.groups
@@ -213,13 +214,13 @@ def route_grouped(network, src: int, dest_key: int) -> Route:
     cur = src
     for _ in range(MAX_HOPS):
         if cur == responsible:
-            return Route(path, True, dest_key)
+            return _traced(Route(path, True, dest_key), network, tracer)
         if groups.group_of(cur) == dest_group:
             # Final stage: dense intra-group links reach the responsible node.
             if responsible in network.links[cur] or responsible == cur:
                 path.append(responsible)
-                return Route(path, True, dest_key)
-            return Route(path, False, dest_key)
+                return _traced(Route(path, True, dest_key), network, tracer)
+            return _traced(Route(path, False, dest_key), network, tracer)
         remaining = space.ring_distance(cur, upper)
         best, best_dist = None, 0
         neighbors = network.links[cur]
@@ -229,7 +230,7 @@ def route_grouped(network, src: int, dest_key: int) -> Route:
             if 0 < dist <= remaining:
                 best, best_dist = cand, dist
         if best is None:
-            return Route(path, False, dest_key)
+            return _traced(Route(path, False, dest_key), network, tracer)
         path.append(best)
         cur = best
     raise RuntimeError(f"routing exceeded {MAX_HOPS} hops: likely a broken network")

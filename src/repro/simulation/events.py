@@ -4,6 +4,13 @@ Protocol code (node joins, leaves, stabilization, lookups) runs as events on
 a virtual clock; every inter-node message is delayed by a pluggable latency
 model and counted by type, so tests can verify the paper's O(log n) message
 bound for Crescendo joins and experiments can measure protocol traffic.
+
+Observability (:mod:`repro.obs`): a :class:`Simulator` built while a tracer
+is active (or given one explicitly) emits one trace event per drained
+event, carrying the virtual time; a :class:`MessageLayer` built while a
+metrics registry is active mirrors its per-type message counts into
+``messages.<kind>`` counters.  With neither attached, the only overhead is
+one ``is None`` check per event.
 """
 
 from __future__ import annotations
@@ -14,15 +21,25 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
 
 class Simulator:
-    """Event queue + virtual clock."""
+    """Event queue + virtual clock.
 
-    def __init__(self) -> None:
+    ``tracer`` defaults to the process-wide active tracer (if any) at
+    construction time; pass ``tracer=None`` explicitly *after* activating a
+    tracer only if you want this simulator silent — construction captures
+    the active tracer, so the common case needs no wiring at all.
+    """
+
+    def __init__(self, tracer: Optional["obs_trace.Tracer"] = None) -> None:
         self.now = 0.0
         self._queue: list = []
         self._seq = itertools.count()
         self.events_run = 0
+        self.tracer = tracer if tracer is not None else obs_trace.active_tracer()
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action`` ``delay`` time units from now."""
@@ -33,20 +50,34 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Drain the queue (optionally up to virtual time ``until``).
 
-        Returns the number of events executed.
+        Returns the number of events executed.  Raises ``RuntimeError`` if
+        runnable events remain after ``max_events`` executions — draining
+        the queue with *exactly* the budget is not an error.
         """
         executed = 0
-        while self._queue and executed < max_events:
+        tracer = self.tracer
+        while self._queue:
             when, _, action = self._queue[0]
             if until is not None and when > until:
                 break
+            if executed >= max_events:
+                self.events_run += executed
+                raise RuntimeError(
+                    f"event budget exhausted: {executed} events run, virtual "
+                    f"time {self.now:g} reached, {len(self._queue)} still "
+                    f"queued: runaway protocol?"
+                )
             heapq.heappop(self._queue)
             self.now = when
             action()
             executed += 1
+            if tracer is not None:
+                tracer.event(
+                    "sim.event",
+                    t=when,
+                    action=getattr(action, "__qualname__", repr(action)),
+                )
         self.events_run += executed
-        if executed >= max_events:
-            raise RuntimeError("event budget exhausted: runaway protocol?")
         return executed
 
     @property
@@ -66,13 +97,22 @@ class ConstantLatency:
 
 @dataclass
 class MessageStats:
-    """Per-type message counters, resettable between measurement windows."""
+    """Per-type message counters, resettable between measurement windows.
+
+    ``sink``, when set, is called with each recorded message kind — the
+    pluggable hook that mirrors counts into an
+    :class:`repro.obs.metrics.MetricsRegistry`
+    (see :meth:`~repro.obs.metrics.MetricsRegistry.message_sink`).
+    """
 
     counts: Counter = field(default_factory=Counter)
+    sink: Optional[Callable[[str], None]] = None
 
     def record(self, kind: str) -> None:
         """Count one message of the given type."""
         self.counts[kind] += 1
+        if self.sink is not None:
+            self.sink(kind)
 
     @property
     def total(self) -> int:
@@ -86,12 +126,25 @@ class MessageStats:
 
 
 class MessageLayer:
-    """Delivers node-to-node messages through the simulator with latency."""
+    """Delivers node-to-node messages through the simulator with latency.
 
-    def __init__(self, sim: Simulator, latency_model: Callable[[int, int], float]) -> None:
+    ``metrics`` defaults to the process-wide active registry (if any) at
+    construction time; when present, every sent message also increments the
+    registry's ``messages.<kind>`` counter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: Callable[[int, int], float],
+        metrics: Optional["obs_metrics.MetricsRegistry"] = None,
+    ) -> None:
         self.sim = sim
         self.latency = latency_model
-        self.stats = MessageStats()
+        registry = metrics if metrics is not None else obs_metrics.active_registry()
+        self.stats = MessageStats(
+            sink=registry.message_sink() if registry is not None else None
+        )
 
     def send(self, src: int, dst: int, kind: str, action: Callable[[], None]) -> None:
         """Send one message; ``action`` runs at the destination on arrival."""

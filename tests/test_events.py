@@ -69,6 +69,50 @@ class TestSimulator:
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
 
+    def test_exact_budget_drain_is_not_an_error(self):
+        # Regression: draining the queue with exactly max_events events used
+        # to raise a spurious "budget exhausted" error.
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule(i, lambda: None)
+        assert sim.run(max_events=100) == 100
+        assert sim.pending == 0
+        assert sim.events_run == 100
+
+    def test_budget_error_reports_events_and_virtual_time(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        with pytest.raises(RuntimeError) as excinfo:
+            sim.run(max_events=50)
+        message = str(excinfo.value)
+        assert "50 events run" in message
+        assert "virtual time 50" in message
+        assert sim.events_run == 50
+
+    def test_tracer_sees_each_drained_event(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert len(tracer) == 2
+        assert [r["attrs"]["t"] for r in tracer.records] == [1, 2]
+
+    def test_active_tracer_captured_at_construction(self):
+        from repro.obs.trace import tracing
+
+        with tracing() as tracer:
+            sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(tracer) == 1
+
     def test_events_run_counter(self):
         sim = Simulator()
         for i in range(5):
@@ -104,3 +148,33 @@ class TestLatencyAndStats:
         sim.run()
         assert log == [2.0]
         assert layer.stats.counts["ping"] == 1
+
+    def test_stats_sink_mirrors_counts(self):
+        seen = []
+        stats = MessageStats(sink=seen.append)
+        stats.record("join")
+        stats.record("join")
+        assert stats.counts["join"] == 2
+        assert seen == ["join", "join"]
+
+    def test_message_layer_feeds_metrics_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        layer = MessageLayer(sim, ConstantLatency(), metrics=registry)
+        layer.send(1, 2, "join", lambda: None)
+        layer.send(2, 3, "stabilize", lambda: None)
+        layer.send(3, 1, "join", lambda: None)
+        assert registry.counter("messages.join").value == 2
+        assert registry.counter("messages.stabilize").value == 1
+        # The layer's own Counter keeps working alongside the sink.
+        assert layer.stats.total == 3
+
+    def test_message_layer_captures_active_registry(self):
+        from repro.obs.metrics import collecting
+
+        with collecting() as registry:
+            layer = MessageLayer(Simulator(), ConstantLatency())
+        layer.send(1, 2, "ping", lambda: None)
+        assert registry.counter("messages.ping").value == 1

@@ -1,0 +1,155 @@
+"""Tests for the span/event/route tracer (`repro.obs.trace`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import hierarchy_from_names
+from repro.core.routing import Route, route_ring
+from repro.obs.trace import (
+    HopAnnotation,
+    Tracer,
+    active_tracer,
+    annotate_hops,
+    jsonl_to_chrome,
+    tracing,
+)
+
+from conftest import make_crescendo
+
+
+@pytest.fixture
+def named_hierarchy():
+    return hierarchy_from_names(
+        {
+            1: "stanford.cs.db",
+            2: "stanford.cs.db",
+            3: "stanford.cs.ai",
+            4: "stanford.ee",
+            5: "mit.csail",
+        }
+    )
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", n=4096):
+            pass
+        (rec,) = tracer.records
+        assert rec["type"] == "span"
+        assert rec["name"] == "work"
+        assert rec["dur"] >= 0
+        assert rec["attrs"] == {"n": 4096}
+
+    def test_nested_spans_record_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            tracer.event("tick")
+        inner, tick, outer = tracer.records
+        assert inner["parent"] == "outer"
+        assert tick["parent"] == "outer"
+        assert "parent" not in outer
+
+    def test_span_recorded_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.records[0]["name"] == "doomed"
+
+    def test_clear_and_len(self):
+        tracer = Tracer()
+        tracer.event("a")
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestHopAnnotation:
+    def test_annotate_hops_levels_and_domains(self, named_hierarchy):
+        hops = annotate_hops([1, 2, 3, 4, 5], named_hierarchy)
+        assert hops[0] == HopAnnotation(1, 2, 3, "stanford.cs.db")
+        assert hops[1] == HopAnnotation(2, 3, 2, "stanford.cs")
+        assert hops[2] == HopAnnotation(3, 4, 1, "stanford")
+        assert hops[3] == HopAnnotation(4, 5, 0, "")
+
+    def test_route_record_carries_annotated_path(self, named_hierarchy):
+        tracer = Tracer()
+        tracer.route(Route([1, 3, 5], True, 5), hierarchy=named_hierarchy)
+        (rec,) = tracer.records
+        assert rec["type"] == "route"
+        assert rec["hops"] == 2
+        assert rec["success"] is True
+        assert [h["level"] for h in rec["path"]] == [2, 0]
+        assert [h["domain"] for h in rec["path"]] == ["stanford.cs", ""]
+
+    def test_route_record_without_hierarchy_keeps_raw_path(self):
+        tracer = Tracer()
+        tracer.route(Route([1, 2], True, 2))
+        assert tracer.records[0]["path"] == [1, 2]
+
+
+class TestExports:
+    def test_jsonl_one_valid_record_per_line(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", k=1):
+            tracer.event("e")
+        out = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(out))
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} == {"span", "event"}
+
+    def test_chrome_export_is_loadable(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("e")
+        tracer.route(Route([1, 2], True, 2))
+        out = tmp_path / "trace.json"
+        tracer.export_chrome(str(out))
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        assert len(events) == 3
+        assert {e["ph"] for e in events} == {"X", "i"}
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+    def test_jsonl_to_chrome_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        tracer.export_jsonl(str(jsonl))
+        assert jsonl_to_chrome(str(jsonl), str(chrome)) == 1
+        data = json.loads(chrome.read_text())
+        assert data["traceEvents"][0]["name"] == "s"
+        assert data["traceEvents"][0]["ph"] == "X"
+
+
+class TestActiveTracer:
+    def test_tracing_context_installs_and_restores(self):
+        assert active_tracer() is None
+        with tracing() as tracer:
+            assert active_tracer() is tracer
+            with tracing() as inner:
+                assert active_tracer() is inner
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_routing_engine_emits_to_given_tracer(self):
+        net = make_crescendo(size=60, levels=2, seed=3)
+        tracer = Tracer()
+        a, b = net.node_ids[0], net.node_ids[7]
+        result = route_ring(net, a, b, tracer=tracer)
+        (rec,) = tracer.records
+        assert rec["hops"] == result.hops
+        assert rec["src"] == a
+        assert rec["dest_key"] == b
+        assert all("level" in hop for hop in rec["path"])

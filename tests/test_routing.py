@@ -206,3 +206,70 @@ def test_ring_routing_total_on_random_networks(seed, size):
     a, b = rng.choice(ids), rng.choice(ids)
     r = route_ring(net, a, b)
     assert r.success and r.terminal == b
+
+
+class TestDomainCrossings:
+    @pytest.fixture
+    def named_hierarchy(self):
+        from repro import hierarchy_from_names
+
+        return hierarchy_from_names(
+            {
+                1: "stanford.cs.db",
+                2: "stanford.cs.db",
+                3: "stanford.cs.ai",
+                4: "stanford.ee",
+                5: "mit.csail",
+            }
+        )
+
+    def test_counts_per_level(self, named_hierarchy):
+        r = Route([1, 2, 3, 4, 5], True, 5)
+        # Hop LCA depths along the path: 3, 2, 1, 0.
+        assert r.domain_crossings(named_hierarchy, level=1) == 1  # only 4->5
+        assert r.domain_crossings(named_hierarchy, level=2) == 2  # 3->4, 4->5
+        assert r.domain_crossings(named_hierarchy, level=3) == 3
+
+    def test_default_level_is_top_level(self, named_hierarchy):
+        r = Route([1, 5], True, 5)
+        assert r.domain_crossings(named_hierarchy) == 1
+
+    def test_intra_domain_path_has_no_crossings(self, named_hierarchy):
+        r = Route([1, 2], True, 2)
+        for level in (1, 2, 3):
+            assert r.domain_crossings(named_hierarchy, level=level) == 0
+
+    def test_zero_hop_route(self, named_hierarchy):
+        assert Route([1], True, 1).domain_crossings(named_hierarchy) == 0
+
+    def test_matches_inline_prefix_computation(self):
+        """Equals the prefix-inequality count the analysis layer used inline."""
+        net = make_crescendo(size=200, levels=3, seed=9)
+        h = net.hierarchy
+        rng = random.Random(41)
+        for _ in range(20):
+            a, b = rng.sample(net.node_ids, 2)
+            r = route_ring(net, a, b)
+            for level in (1, 2):
+                inline = sum(
+                    1
+                    for x, y in zip(r.path, r.path[1:])
+                    if h.path_of(x)[:level] != h.path_of(y)[:level]
+                )
+                assert r.domain_crossings(h, level=level) == inline
+
+    def test_crescendo_crosses_less_than_chord(self):
+        """Canon's locality: hierarchical routing crosses domains less."""
+        crescendo = make_crescendo(size=300, levels=3, seed=13)
+        chord = make_chord(size=300, seed=13)
+        rng = random.Random(14)
+        pairs = [tuple(rng.sample(crescendo.node_ids, 2)) for _ in range(150)]
+        crossings_crescendo = sum(
+            route_ring(crescendo, a, b).domain_crossings(crescendo.hierarchy)
+            for a, b in pairs
+        )
+        crossings_chord = sum(
+            route_ring(chord, a, b).domain_crossings(crescendo.hierarchy)
+            for a, b in pairs
+        )
+        assert crossings_crescendo < crossings_chord
