@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.network import DHTNetwork
-from ..core.routing import Route, route_ring
+from ..core.routing import Route, route_ring, route_xor
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.profile import PROFILER
+from ..perf.kernels import CompiledNetwork, compile_network
 from ..workloads.queries import random_pair
 
 Router = Callable[[DHTNetwork, int, int], Route]
@@ -53,6 +54,58 @@ class RoutingStats:
         return self.delivered / self.samples if self.samples else 0.0
 
 
+def _workload(
+    network: DHTNetwork,
+    rng,
+    samples: int,
+    pairs: Optional[Sequence[Tuple[int, int]]],
+) -> Sequence[Tuple[int, int]]:
+    """The (src, key) workload to route: given pairs as-is, else generated.
+
+    Provided pair sequences are used without copying (no throwaway list);
+    generated pairs are materialized once and threaded through whichever
+    engine routes them, so scalar and batch sample identical workloads.
+    """
+    if pairs is None:
+        return [random_pair(network.node_ids, rng) for _ in range(samples)]
+    if isinstance(pairs, Sequence):
+        return pairs
+    return list(pairs)
+
+
+def _batch_compiled(
+    network: DHTNetwork, router: Router, engine: str
+) -> Optional[CompiledNetwork]:
+    """The compiled network to use, or ``None`` for the scalar engine.
+
+    The batch kernels replicate exactly ``route_ring`` on ring-metric
+    networks and ``route_xor`` on XOR-metric ones; any other router (or a
+    mismatched metric) runs scalar.  ``engine="auto"`` also degrades to
+    scalar when compilation is impossible (e.g. the id space is too wide
+    for augmented keys); ``engine="batch"`` raises instead.
+    """
+    if engine == "scalar":
+        return None
+    eligible = (router is route_ring and network.metric == "ring") or (
+        router is route_xor and network.metric == "xor"
+    )
+    if engine == "batch":
+        if not eligible:
+            raise ValueError(
+                "engine='batch' needs route_ring on a ring-metric network "
+                "or route_xor on an xor-metric network"
+            )
+        return compile_network(network)
+    if engine != "auto":
+        raise ValueError(f"unknown engine {engine!r}; use auto, batch or scalar")
+    if not eligible:
+        return None
+    try:
+        return compile_network(network)
+    except (ValueError, RuntimeError):
+        return None
+
+
 def sample_routing(
     network: DHTNetwork,
     rng,
@@ -60,8 +113,16 @@ def sample_routing(
     router: Router = route_ring,
     latency_fn: Optional[LatencyFn] = None,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    engine: str = "auto",
 ) -> RoutingStats:
     """Route random (or given) node pairs and aggregate hops/latency.
+
+    ``engine`` selects the routing implementation: ``"auto"`` (default)
+    uses the vectorized batch kernels of :mod:`repro.perf.kernels` whenever
+    the router is the plain greedy engine matching the network's metric
+    (they are hop-for-hop identical, so results do not change), and the
+    per-route scalar engine otherwise; ``"batch"`` insists on the kernels;
+    ``"scalar"`` opts out.
 
     When an observability tracer or metrics registry is active
     (:mod:`repro.obs`), every sampled route is additionally recorded: the
@@ -76,44 +137,59 @@ def sample_routing(
     """
     tracer = obs_trace.active_tracer()
     registry = obs_metrics.active_registry()
+    workload = _workload(network, rng, samples, pairs)
+    compiled = _batch_compiled(network, router, engine)
     hops: List[int] = []
     latencies: List[float] = []
     crossings: List[int] = []
     delivered = 0
-    pair_iter = (
-        pairs
-        if pairs is not None
-        else [random_pair(network.node_ids, rng) for _ in range(samples)]
-    )
-    total = 0
+    total = len(workload)
     with PROFILER.phase("route"):
-        for src, dst in pair_iter:
-            total += 1
-            result = router(network, src, dst)
-            if tracer is not None:
-                tracer.route(result, hierarchy=network.hierarchy)
-            if not (result.success and result.terminal == dst):
-                continue
-            delivered += 1
-            hops.append(result.hops)
-            if registry is not None:
-                crossings.append(result.domain_crossings(network.hierarchy))
-            if latency_fn is not None:
-                latencies.append(result.latency(latency_fn))
+        if compiled is not None:
+            # Full paths are only materialized when something consumes them.
+            need_paths = (
+                tracer is not None or registry is not None or latency_fn is not None
+            )
+            batch = compiled.route(
+                [p[0] for p in workload], [p[1] for p in workload], paths=need_paths
+            )
+            ok = batch.success & (batch.terminals == batch.dest_keys)
+            if not need_paths:
+                delivered = int(ok.sum())
+                hops = batch.hops[ok].tolist()
+            else:
+                for i, result in enumerate(batch.routes()):
+                    if tracer is not None:
+                        tracer.route(result, hierarchy=network.hierarchy)
+                    if not ok[i]:
+                        continue
+                    delivered += 1
+                    hops.append(result.hops)
+                    if registry is not None:
+                        crossings.append(result.domain_crossings(network.hierarchy))
+                    if latency_fn is not None:
+                        latencies.append(result.latency(latency_fn))
+        else:
+            for src, dst in workload:
+                result = router(network, src, dst)
+                if tracer is not None:
+                    tracer.route(result, hierarchy=network.hierarchy)
+                if not (result.success and result.terminal == dst):
+                    continue
+                delivered += 1
+                hops.append(result.hops)
+                if registry is not None:
+                    crossings.append(result.domain_crossings(network.hierarchy))
+                if latency_fn is not None:
+                    latencies.append(result.latency(latency_fn))
     if registry is not None:
         registry.counter("route.samples").inc(total)
         registry.counter("route.delivered").inc(delivered)
         registry.counter("messages.lookup").inc(sum(hops))
-        hop_hist = registry.histogram("route.hops")
-        for h in hops:
-            hop_hist.observe(h)
-        crossing_hist = registry.histogram("route.crossings")
-        for c in crossings:
-            crossing_hist.observe(c)
+        registry.histogram("route.hops").observe_many(hops)
+        registry.histogram("route.crossings").observe_many(crossings)
         if latencies:
-            lat_hist = registry.histogram("route.latency")
-            for lat in latencies:
-                lat_hist.observe(lat)
+            registry.histogram("route.latency").observe_many(latencies)
     return RoutingStats(
         samples=total,
         delivered=delivered,
@@ -129,6 +205,7 @@ def stretch(
     direct_latency: float,
     samples: int = 500,
     router: Router = route_ring,
+    engine: str = "auto",
 ) -> Tuple[float, float]:
     """(stretch, mean overlay latency) relative to mean direct latency.
 
@@ -136,7 +213,12 @@ def stretch(
     the two hosts on the modelled internet (Figure 6).
     """
     stats = sample_routing(
-        network, rng, samples=samples, router=router, latency_fn=latency_fn
+        network,
+        rng,
+        samples=samples,
+        router=router,
+        latency_fn=latency_fn,
+        engine=engine,
     )
     if stats.mean_latency is None or direct_latency <= 0:
         raise ValueError("latency sampling failed")

@@ -27,6 +27,36 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 MAX_HOPS = 10_000
 
 
+class LiveSet(frozenset):
+    """A frozen alive-set that caches its sorted id array.
+
+    The terminal checks below (`_is_responsible`, `_is_xor_closest`) need the
+    live ids *sorted* to binary-search the responsible node.  A plain ``set``
+    forces an O(n log n) sort per terminal check, which dominates the churn
+    and failure studies; a :class:`LiveSet` sorts once, lazily, and every
+    route under the same failure pattern reuses it.  It *is* a ``frozenset``,
+    so membership tests and equality with plain sets are unchanged.
+    """
+
+    __slots__ = ("_sorted",)
+
+    @property
+    def sorted_ids(self) -> List[int]:
+        """The live ids in ascending order (computed once, then cached)."""
+        try:
+            return self._sorted
+        except AttributeError:
+            object.__setattr__(self, "_sorted", sorted(self))
+            return self._sorted
+
+
+def _sorted_live(alive: Set[int]) -> Sequence[int]:
+    """Sorted view of an alive set, cached when it is a :class:`LiveSet`."""
+    if isinstance(alive, LiveSet):
+        return alive.sorted_ids
+    return sorted(alive)
+
+
 @dataclass
 class Route:
     """The outcome of one routing attempt.
@@ -170,7 +200,7 @@ def _is_responsible(
     """Whether ``node`` is responsible for ``key`` among live nodes."""
     if alive is None:
         return network.responsible_node(key) == node
-    live_sorted = sorted(alive)
+    live_sorted = _sorted_live(alive)
     if not live_sorted:
         return False
     return live_sorted[predecessor_index(live_sorted, key)] == node
@@ -251,7 +281,7 @@ def _is_xor_closest(
     network: DHTNetwork, node: int, key: int, alive: Optional[Set[int]]
 ) -> bool:
     space = network.space
-    ids = network.node_ids if alive is None else sorted(alive)
+    ids = network.node_ids if alive is None else _sorted_live(alive)
     if not ids:
         return False
     pos = successor_index(ids, key)

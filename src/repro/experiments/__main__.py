@@ -26,6 +26,8 @@ import time
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.profile import PROFILER
+from ..perf import cache as perf_cache
+from ..perf import executor as perf_executor
 from . import EXPERIMENTS
 
 logger = logging.getLogger("repro.experiments")
@@ -94,6 +96,26 @@ def main(argv=None) -> int:
         help="report build vs. route vs. analysis wall time per run (stderr)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the parameter grids (0 = all cores; "
+        "results are bit-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="rebuild every network instead of using the on-disk "
+        "built-network cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="built-network cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-canon/networks)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -111,9 +133,26 @@ def main(argv=None) -> int:
 
     tracer = obs_trace.activate(obs_trace.Tracer()) if args.trace else None
     registry = obs_metrics.activate(obs_metrics.MetricsRegistry()) if args.metrics else None
+    cache = None
+    if not args.no_cache:
+        cache = perf_cache.enable(perf_cache.NetworkCache(args.cache_dir))
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    perf_executor.set_default_jobs(args.jobs)
     try:
         exit_code = _dispatch(args)
     finally:
+        perf_executor.set_default_jobs(1)
+        if cache is not None:
+            stats = cache.stats()
+            logger.info(
+                "network cache (%s): %d hits, %d misses, %d stores",
+                cache.root,
+                stats["hits"],
+                stats["misses"],
+                stats["stores"],
+            )
+            perf_cache.disable()
         if tracer is not None:
             tracer.export_jsonl(args.trace)
             logger.info("wrote %d trace records to %s", len(tracer), args.trace)

@@ -7,26 +7,36 @@ again the Jensen effect), while the maximum degree barely increases.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from ..analysis.tables import Table
+from ..perf.executor import map_points
 from .common import build_crescendo, get_scale, seeded_rng
 
 
-def distributions(scale: str = "small") -> Dict[int, Dict[int, float]]:
+def _grid_point(point: Tuple[int, int]) -> Dict[int, float]:
+    """Degree PDF at one (size, levels) grid point (worker-safe)."""
+    size, levels = point
+    net = build_crescendo(
+        size, levels, seeded_rng("fig4", levels), cache_token=("fig4", size, levels)
+    )
+    return net.degree_distribution()
+
+
+def distributions(
+    scale: str = "small", jobs: Optional[int] = None
+) -> Dict[int, Dict[int, float]]:
     """levels -> degree -> fraction of nodes."""
     cfg = get_scale(scale)
-    out: Dict[int, Dict[int, float]] = {}
-    for levels in cfg.fig3_levels:
-        net = build_crescendo(cfg.fig4_size, levels, seeded_rng("fig4", levels))
-        out[levels] = net.degree_distribution()
-    return out
+    points = [(cfg.fig4_size, levels) for levels in cfg.fig3_levels]
+    values = map_points(_grid_point, points, jobs=jobs)
+    return {levels: pdf for (_, levels), pdf in zip(points, values)}
 
 
-def run(scale: str = "small") -> Table:
+def run(scale: str = "small", jobs: Optional[int] = None) -> Table:
     """Render the Figure 4 degree-PDF table."""
     cfg = get_scale(scale)
-    dists = distributions(scale)
+    dists = distributions(scale, jobs=jobs)
     degrees = sorted({d for pdf in dists.values() for d in pdf})
     table = Table(
         f"Figure 4 — PDF of #links/node ({cfg.fig4_size}-node network)",

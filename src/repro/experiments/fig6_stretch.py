@@ -10,11 +10,12 @@ improves but still scales with log n; Crescendo (Prox.) is best and constant
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..analysis.metrics import stretch
 from ..analysis.tables import Table
 from ..core.routing import route_ring
+from ..perf.executor import map_points
 from ..proximity.groups import route_grouped
 from .common import build_topology_setup, get_scale, seeded_rng
 
@@ -26,30 +27,48 @@ SYSTEMS = (
 )
 
 
-def measurements(scale: str = "small") -> Dict[Tuple[str, int], Tuple[float, float]]:
-    """(system, n) -> (stretch, mean latency ms)."""
-    cfg = get_scale(scale)
-    out: Dict[Tuple[str, int], Tuple[float, float]] = {}
-    for size in cfg.fig6_sizes:
-        setup = build_topology_setup(size, "fig6")
-        rng = seeded_rng("fig6-route", size)
-        for label, attr, router in SYSTEMS:
-            net = getattr(setup, attr)
-            out[(label, size)] = stretch(
-                net,
-                rng,
-                setup.latency,
-                setup.direct_latency,
-                samples=cfg.route_samples,
-                router=router,
-            )
+def _grid_point(point: Tuple[int, int]) -> Dict[str, Tuple[float, float]]:
+    """All four systems at one network size (worker-safe).
+
+    The whole size is one grid point because the four systems share a
+    topology setup and one routing RNG whose state threads from system to
+    system (exactly as the serial loop always did).
+    """
+    size, samples = point
+    setup = build_topology_setup(size, "fig6")
+    rng = seeded_rng("fig6-route", size)
+    out: Dict[str, Tuple[float, float]] = {}
+    for label, attr, router in SYSTEMS:
+        net = getattr(setup, attr)
+        out[label] = stretch(
+            net,
+            rng,
+            setup.latency,
+            setup.direct_latency,
+            samples=samples,
+            router=router,
+        )
     return out
 
 
-def run(scale: str = "small") -> Table:
+def measurements(
+    scale: str = "small", jobs: Optional[int] = None
+) -> Dict[Tuple[str, int], Tuple[float, float]]:
+    """(system, n) -> (stretch, mean latency ms)."""
+    cfg = get_scale(scale)
+    points = [(size, cfg.route_samples) for size in cfg.fig6_sizes]
+    values = map_points(_grid_point, points, jobs=jobs)
+    out: Dict[Tuple[str, int], Tuple[float, float]] = {}
+    for (size, _), by_label in zip(points, values):
+        for label, _, _ in SYSTEMS:
+            out[(label, size)] = by_label[label]
+    return out
+
+
+def run(scale: str = "small", jobs: Optional[int] = None) -> Table:
     """Render the Figure 6 table (latency and stretch)."""
     cfg = get_scale(scale)
-    data = measurements(scale)
+    data = measurements(scale, jobs=jobs)
     table = Table(
         "Figure 6 — Latency and stretch on the transit-stub model",
         ["n"]

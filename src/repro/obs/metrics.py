@@ -91,6 +91,30 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations in one vectorized pass.
+
+        Equivalent to calling :meth:`observe` per value (a value lands in
+        the first bucket with ``v <= bound``) but bins the whole batch with
+        one ``searchsorted`` + ``bincount`` — the post-loop recording path
+        of ``sample_routing`` uses this instead of a Python loop.
+        """
+        if not len(values):
+            return
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+            for value in values:
+                self.observe(value)
+            return
+        arr = np.asarray(values, dtype=float)
+        idx = np.searchsorted(np.asarray(self.buckets, dtype=float), arr, side="left")
+        binned = np.bincount(idx, minlength=len(self.buckets) + 1)
+        for i, cnt in enumerate(binned):
+            self.counts[i] += int(cnt)
+        self.sum += float(arr.sum())
+        self.count += int(arr.size)
+
     @property
     def mean(self) -> float:
         """Mean of all observations (0 when empty)."""
@@ -135,6 +159,27 @@ class MetricsRegistry:
         elif tuple(buckets) != inst.buckets and tuple(buckets) != DEFAULT_BUCKETS:
             raise ValueError(f"histogram {name} exists with different buckets")
         return inst
+
+    def absorb(self, snapshot: "MetricsSnapshot") -> None:
+        """Fold a snapshot's contents into this registry's live instruments.
+
+        Counters and histogram bins add; gauges take the snapshot's value
+        (last-writer-wins, matching :class:`Gauge`).  This is how the
+        parallel experiment executor merges per-worker registries back into
+        the parent process's active registry.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, hist in snapshot.histograms.items():
+            inst = self.histogram(name, tuple(hist["buckets"]))
+            if list(inst.buckets) != list(hist["buckets"]):
+                raise ValueError(f"histogram {name}: bucket bounds differ")
+            for i, cnt in enumerate(hist["counts"]):
+                inst.counts[i] += cnt
+            inst.sum += hist["sum"]
+            inst.count += hist["count"]
 
     def message_sink(self, prefix: str = "messages") -> Callable[[str], None]:
         """A ``kind -> None`` callable counting into ``{prefix}.{kind}``.

@@ -49,6 +49,12 @@ class PhaseProfiler:
         self.totals.clear()
         self.calls.clear()
 
+    def absorb(self, phases: Dict[str, Dict[str, float]]) -> None:
+        """Fold an :meth:`as_dict` payload (e.g. from a worker process) in."""
+        for name, entry in phases.items():
+            self.totals[name] = self.totals.get(name, 0.0) + entry["seconds"]
+            self.calls[name] = self.calls.get(name, 0) + int(entry["calls"])
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """``{phase: {"seconds": total, "calls": n}}`` for JSON embedding."""
         return {

@@ -1,0 +1,67 @@
+"""Fast-path layer: batch routing kernels, a parallel experiment executor
+and an on-disk built-network cache.
+
+Three cooperating pieces, each individually optional and all bit-identical
+to the plain implementations they accelerate:
+
+- :mod:`repro.perf.kernels` — compile a built network's link tables into a
+  CSR-style numpy layout once, then route whole batches of (src, key)
+  pairs frontier-at-a-time (one vectorized step per hop over every
+  still-active route).
+- :mod:`repro.perf.executor` — fan per-figure parameter grids out across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; per-point seeded RNGs
+  keep results identical to serial runs, and child metrics registries are
+  merged back via the obs snapshot/merge API.
+- :mod:`repro.perf.cache` — an on-disk cache of built link tables keyed by
+  (family, size, levels, seed token, id-space bits) so repeated experiment
+  runs skip network construction.
+
+See ``docs/performance.md`` for the layout, invalidation rules and
+benchmark methodology.
+"""
+
+from .cache import (
+    NetworkCache,
+    active_cache,
+    caching,
+    default_cache_dir,
+    disable,
+    enable,
+    install_network,
+    network_payload,
+)
+from .executor import (
+    get_default_jobs,
+    map_points,
+    resolve_jobs,
+    set_default_jobs,
+)
+from .kernels import (
+    BatchResult,
+    CompiledNetwork,
+    batch_route,
+    batch_route_ring,
+    batch_route_xor,
+    compile_network,
+)
+
+__all__ = [
+    "BatchResult",
+    "CompiledNetwork",
+    "NetworkCache",
+    "active_cache",
+    "batch_route",
+    "batch_route_ring",
+    "batch_route_xor",
+    "caching",
+    "compile_network",
+    "default_cache_dir",
+    "disable",
+    "enable",
+    "get_default_jobs",
+    "install_network",
+    "map_points",
+    "network_payload",
+    "resolve_jobs",
+    "set_default_jobs",
+]

@@ -1,0 +1,768 @@
+"""Vectorized batch routing kernels over a CSR link-table layout.
+
+:func:`compile_network` flattens a built :class:`~repro.core.network.DHTNetwork`
+into numpy arrays — sorted node ids, a flat neighbor array, per-node offsets
+into it (CSR style), and the index of every neighbor back into the id array
+— plus two per-metric search structures that turn the greedy step of each
+scalar engine into a handful of vector ops over the whole active batch:
+
+- ring metric: a per-node matrix of clockwise neighbor distances, sorted
+  ascending and right-aligned with zero padding (column 0 is a permanent
+  zero pointing back at the node).  The non-overshooting clockwise
+  candidate of :func:`repro.core.routing._best_ring_step` is simply the
+  rightmost column ``<= remaining``, found with one ``argmax`` per hop;
+  "no valid step" falls out as a zero-distance self-step, so the loop has
+  no wrap, empty-list or validity fixups at all.
+- XOR metric: one *augmented* key array that is globally strictly
+  increasing, built as ``(node_index << (bits + 1)) | (neighbor + 1)``
+  with two sentinel entries per node (a low key mapping to the node's
+  *last* neighbor, a high key to its *first*).  One ``np.searchsorted``
+  then yields the successor/predecessor pair bracketing the destination —
+  the two candidates of :func:`repro.core.routing._best_xor_step` — with
+  the wrapped cases correct by construction.
+
+Both hot paths cost a few vector ops per hop over only the still-active
+routes, which is what makes the kernels an order of magnitude faster than
+the scalar engines (see ``BENCH_routing.json``).
+
+Routing proceeds frontier-at-a-time: each iteration advances every
+still-active route by one hop, and finished routes are compacted out.
+Under an ``alive`` filter the binary-search shortcut no longer applies (the
+scalar engines scan), so the kernels expand the active frontier's neighbor
+lists flat and reduce per segment with ``np.maximum.reduceat`` /
+``np.minimum.reduceat`` — still one vectorized pass per hop.
+
+Every branch replicates the corresponding scalar branch exactly, so batch
+results are hop-for-hop identical to :func:`~repro.core.routing.route_ring`
+and :func:`~repro.core.routing.route_xor` (property-tested across all ten
+DHT families in ``tests/test_perf_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.network import DHTNetwork
+from ..core.routing import MAX_HOPS, Route, _sorted_live
+from ..obs import metrics as obs_metrics
+from ..obs.profile import PROFILER
+
+__all__ = [
+    "BatchResult",
+    "CompiledNetwork",
+    "batch_route",
+    "batch_route_ring",
+    "batch_route_xor",
+    "compile_network",
+]
+
+_U64 = np.uint64
+_ZERO = np.uint64(0)
+_ONE = np.uint64(1)
+#: Sentinel larger than any XOR distance (id spaces are capped below 64 bits
+#: by the compile guard, so real distances never reach it).
+_FAR = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch routing call, aligned index-for-index.
+
+    ``terminals`` holds the node each route stopped at; ``success`` mirrors
+    the scalar engines' success flag (so *delivery* of a lookup for key ``k``
+    is ``success & (terminals == k)``, same as the sampling harness checks).
+    ``paths`` is only populated when requested — hop counting alone never
+    materializes paths.
+    """
+
+    sources: np.ndarray
+    dest_keys: np.ndarray
+    hops: np.ndarray
+    terminals: np.ndarray
+    success: np.ndarray
+    paths: Optional[List[List[int]]] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def delivered(self) -> int:
+        """Routes that succeeded *and* terminated on their destination key."""
+        return int(np.count_nonzero(self.success & (self.terminals == self.dest_keys)))
+
+    def routes(self) -> Iterator[Route]:
+        """Reconstruct scalar :class:`Route` objects (requires ``paths=True``)."""
+        if self.paths is None:
+            raise ValueError("paths were not collected; route with paths=True")
+        for path, ok, dest in zip(self.paths, self.success, self.dest_keys):
+            yield Route(path, bool(ok), int(dest))
+
+
+class CompiledNetwork:
+    """A built network's link tables in CSR-style numpy form (read-only)."""
+
+    def __init__(self, network: DHTNetwork) -> None:
+        network.require_built()
+        bits = network.space.bits
+        ids = network.node_ids  # sorted ascending by construction
+        n = len(ids)
+        if n == 0:
+            raise ValueError("cannot compile an empty network")
+        if bits + 1 + max(n - 1, 1).bit_length() > 64:
+            raise ValueError(
+                f"augmented keys need {bits} + 1 id bits + "
+                f"{max(n - 1, 1).bit_length()} index bits > 64"
+            )
+        self.network = network
+        self.metric = network.metric
+        self.bits = bits
+        self.n = n
+        self.ids = np.asarray(ids, dtype=_U64)
+        counts = np.fromiter(
+            (len(network.links[node]) for node in ids), dtype=np.int64, count=n
+        )
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        flat: List[int] = []
+        for node in ids:
+            flat.extend(network.links[node])
+        self.neighbors = np.asarray(flat, dtype=_U64)
+        # One extra key bit so per-node sentinels can sort strictly below
+        # (key 0 -> last neighbor) and above (key mask+2 -> first neighbor)
+        # every real entry (neighbor + 1).
+        self.shift = np.uint64(bits + 1)
+        self.mask = np.uint64((1 << bits) - 1)
+        if self.neighbors.size:
+            pos = np.searchsorted(self.ids, self.neighbors)
+            pos = np.minimum(pos, n - 1)
+            if np.any(self.ids[pos] != self.neighbors):
+                raise ValueError("link table references ids outside the network")
+            self.nbr_pos = pos.astype(np.int64)
+        else:
+            self.nbr_pos = np.zeros(0, dtype=np.int64)
+        self._build_augmented(counts)
+
+    def _build_augmented(self, counts: np.ndarray) -> None:
+        """Build the sentinel-padded augmented search arrays.
+
+        Per node, in key order: a low sentinel mapping to the node's last
+        neighbor (the wrapped clockwise / predecessor candidate), one entry
+        per neighbor at key ``neighbor + 1``, and a high sentinel mapping to
+        its first neighbor (the wrapped successor candidate).  ``aug`` is
+        globally strictly increasing; ``cand_ids``/``cand_aug`` give each
+        entry's candidate neighbor id and that candidate's own augmented
+        prefix (``position << shift``), which is exactly the state the
+        routing loops carry forward.  Nodes without neighbors get sentinels
+        pointing at themselves — distance zero, never a valid step.
+        """
+        n, E = self.n, int(self.neighbors.size)
+        idx = np.arange(n, dtype=_U64)
+        prefixes = idx << self.shift
+        aug = np.empty(E + 2 * n, dtype=_U64)
+        cand_ids = np.empty(E + 2 * n, dtype=_U64)
+        cand_pos = np.empty(E + 2 * n, dtype=np.int64)
+        offsets = 2 * np.arange(n, dtype=np.int64)
+        lead = self.indptr[:-1] + offsets
+        trail = self.indptr[1:] + offsets + 1
+        aug[lead] = prefixes
+        aug[trail] = prefixes | np.uint64(int(self.mask) + 2)
+        has = counts > 0
+        first = np.where(has, self.indptr[:-1], 0)
+        last = np.where(has, self.indptr[1:] - 1, 0)
+        if E:
+            seg = np.repeat(idx, counts)
+            real = np.arange(E, dtype=np.int64) + 2 * np.repeat(
+                np.arange(n, dtype=np.int64), counts
+            ) + 1
+            aug[real] = (seg << self.shift) | (self.neighbors + _ONE)
+            cand_ids[real] = self.neighbors
+            cand_pos[real] = self.nbr_pos
+            cand_ids[lead] = np.where(has, self.neighbors[last], self.ids)
+            cand_pos[lead] = np.where(has, self.nbr_pos[last], np.arange(n))
+            cand_ids[trail] = np.where(has, self.neighbors[first], self.ids)
+            cand_pos[trail] = np.where(has, self.nbr_pos[first], np.arange(n))
+        else:
+            cand_ids[lead] = cand_ids[trail] = self.ids
+            cand_pos[lead] = cand_pos[trail] = np.arange(n)
+        self.aug = aug
+        self.cand_ids = cand_ids
+        self.cand_aug = cand_pos.astype(_U64) << self.shift
+        self._ring_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def _ring_matrix(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node clockwise distances as a padded sorted matrix (lazy).
+
+        Row ``i`` holds node ``i``'s neighbor distances sorted *descending*
+        and left-aligned; the trailing padding slots (at least one per row)
+        are zero, with their position entries pointing at the node itself.
+        The greedy ring step then needs no validity or wrap handling at
+        all: the first column ``<= remaining`` — one ``argmax`` per hop,
+        guaranteed to exist by the trailing zero — is the best
+        non-overshooting neighbor, and when no neighbor qualifies it is a
+        zero-distance self-step, which doubles as the finished/stuck
+        signal.
+
+        Returns ``(dist2d, posflat, ids_small)`` where the distance dtype
+        is ``uint32`` when the id space fits (half the memory traffic of
+        the hot loop) and ``uint64`` otherwise, and ``posflat`` is the
+        row-major flattened position matrix (``intp`` so step lookups index
+        directly).
+        """
+        if self._ring_tables is not None:
+            return self._ring_tables
+        n, E = self.n, int(self.neighbors.size)
+        dt = np.uint32 if self.bits <= 32 else _U64
+        counts = np.diff(self.indptr)
+        width = int(counts.max()) + 1 if E else 1
+        dist2d = np.zeros((n, width), dtype=dt)
+        pos2d = np.repeat(np.arange(n, dtype=np.intp)[:, None], width, axis=1)
+        if E:
+            seg = np.repeat(np.arange(n, dtype=_U64), counts)
+            dists = (self.neighbors - self.ids[seg.astype(np.int64)]) & self.mask
+            order = np.argsort((seg << self.shift) | dists, kind="stable")
+            # The sorted layout keeps CSR segment boundaries, so target
+            # slots enumerate each segment right-to-left from its last
+            # column; only the values are permuted by ``order``.
+            rows = seg.astype(np.int64)
+            rank = np.arange(E, dtype=np.int64) - np.repeat(self.indptr[:-1], counts)
+            cols = np.repeat(counts, counts) - 1 - rank
+            dist2d[rows, cols] = dists[order].astype(dt)
+            pos2d[rows, cols] = self.nbr_pos[order]
+        ids_small = self.ids.astype(dt)
+        self._ring_tables = (dist2d, pos2d.ravel(), ids_small)
+        return self._ring_tables
+
+    # ------------------------------------------------------------- plumbing
+
+    def _positions(self, values: np.ndarray) -> np.ndarray:
+        """Index of each value in ``ids`` (raises on unknown node ids)."""
+        pos = np.searchsorted(self.ids, values)
+        pos = np.minimum(pos, self.n - 1)
+        bad = self.ids[pos] != values
+        if np.any(bad):
+            raise KeyError(f"node {int(values[bad][0])} not in network")
+        return pos.astype(np.int64)
+
+    def _alive_array(self, alive: Optional[Set[int]]) -> Optional[np.ndarray]:
+        if alive is None:
+            return None
+        return np.asarray(_sorted_live(alive), dtype=_U64)
+
+    def _flat_frontier(
+        self, c: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat-expand the neighbor lists of the frontier nodes ``c``.
+
+        Returns ``(nz, seg_starts, flat, cnz)`` where ``nz`` indexes the
+        frontier rows that have neighbors at all, ``flat`` indexes
+        ``self.neighbors`` for every candidate, and ``seg_starts`` marks the
+        per-row segment boundaries within ``flat`` (for ``reduceat``).
+        """
+        start = self.indptr[c]
+        counts = self.indptr[c + 1] - start
+        nz = np.nonzero(counts > 0)[0]
+        cnz = counts[nz]
+        seg_starts = np.zeros(nz.size, dtype=np.int64)
+        if nz.size > 1:
+            np.cumsum(cnz[:-1], out=seg_starts[1:])
+        total = int(cnz.sum())
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(seg_starts, cnz)
+            + np.repeat(start[nz], cnz)
+        )
+        return nz, seg_starts, flat, cnz
+
+    # ------------------------------------------------------- terminal checks
+
+    def _responsible(
+        self, cur_ids: np.ndarray, keys: np.ndarray, alive_arr: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Vectorized ``_is_responsible``: cyclic predecessor-or-equal match."""
+        ref = self.ids if alive_arr is None else alive_arr
+        if ref.size == 0:
+            return np.zeros(cur_ids.shape, dtype=bool)
+        pos = np.searchsorted(ref, keys, side="right").astype(np.int64) - 1
+        pos = np.where(pos < 0, ref.size - 1, pos)
+        return ref[pos] == cur_ids
+
+    def _xor_closest(
+        self, cur_ids: np.ndarray, keys: np.ndarray, alive_arr: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Vectorized ``_is_xor_closest``: nearest is adjacent to the key."""
+        ref = self.ids if alive_arr is None else alive_arr
+        if ref.size == 0:
+            return np.zeros(cur_ids.shape, dtype=bool)
+        pos = np.searchsorted(ref, keys, side="left").astype(np.int64)
+        succ = ref[pos % ref.size]
+        pred = ref[(pos - 1) % ref.size]
+        best = np.minimum(succ ^ keys, pred ^ keys)
+        return (cur_ids ^ keys) == best
+
+    # ------------------------------------------------------------ ring steps
+
+    def _ring_step_alive(
+        self,
+        c: np.ndarray,
+        cur_ids: np.ndarray,
+        remaining: np.ndarray,
+        alive_arr: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filtered ring step: max live non-overshooting progress (scan)."""
+        nxt = np.zeros(c.shape, dtype=np.int64)
+        ok = np.zeros(c.shape, dtype=bool)
+        nz, seg_starts, flat, cnz = self._flat_frontier(c)
+        if nz.size == 0:
+            return nxt, ok
+        cand = self.neighbors[flat]
+        dist = (cand - np.repeat(cur_ids[nz], cnz)) & self.mask
+        valid = (
+            _in_sorted(alive_arr, cand)
+            & (dist > _ZERO)
+            & (dist <= np.repeat(remaining[nz], cnz))
+        )
+        score = np.where(valid, dist, _ZERO)
+        best = np.maximum.reduceat(score, seg_starts)
+        prog = best > _ZERO
+        if np.any(prog):
+            # Ring distances from one node are distinct, so each progressing
+            # segment has exactly one candidate matching its maximum.
+            hit = (score == np.repeat(best, cnz)) & np.repeat(prog, cnz)
+            rows = nz[np.repeat(np.arange(nz.size), cnz)[hit]]
+            nxt[rows] = self.nbr_pos[flat[hit]]
+            ok[rows] = True
+        return nxt, ok
+
+    # ------------------------------------------------------------- xor steps
+
+    def _xor_step_alive(
+        self, c: np.ndarray, d: np.ndarray, cur_dist: np.ndarray, alive_arr: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filtered XOR step: min live XOR distance if strictly closer."""
+        nxt = np.zeros(c.shape, dtype=np.int64)
+        ok = np.zeros(c.shape, dtype=bool)
+        nz, seg_starts, flat, cnz = self._flat_frontier(c)
+        if nz.size == 0:
+            return nxt, ok
+        cand = self.neighbors[flat]
+        dist = cand ^ np.repeat(d[nz], cnz)
+        valid = _in_sorted(alive_arr, cand) & (dist < np.repeat(cur_dist[nz], cnz))
+        score = np.where(valid, dist, _FAR)
+        best = np.minimum.reduceat(score, seg_starts)
+        prog = best != _FAR
+        if np.any(prog):
+            hit = (score == np.repeat(best, cnz)) & np.repeat(prog, cnz)
+            rows = nz[np.repeat(np.arange(nz.size), cnz)[hit]]
+            nxt[rows] = self.nbr_pos[flat[hit]]
+            ok[rows] = True
+        return nxt, ok
+
+    # --------------------------------------------------------------- routing
+
+    def route_ring(
+        self,
+        sources: Sequence[int],
+        dest_keys: Sequence[int],
+        alive: Optional[Set[int]] = None,
+        paths: bool = False,
+    ) -> BatchResult:
+        """Batch greedy clockwise routing, identical to ``route_ring``."""
+        src, dest = _as_batch(sources, dest_keys)
+        if alive is None:
+            return self._route_ring_fast(src, dest, paths)
+        return self._route_ring_alive(src, dest, self._alive_array(alive), paths)
+
+    def _route_ring_fast(
+        self, src: np.ndarray, dest: np.ndarray, paths: bool
+    ) -> BatchResult:
+        """No-filter ring loop over the padded distance matrix.
+
+        Per hop: gather the active rows of :meth:`_ring_matrix` (distances
+        descending), find the first column ``<= remaining`` with one
+        ``argmax``, and step to its position.  A self-step (chosen distance
+        zero) means finished — at the key or stuck — and is *free*, so the
+        loop never compacts per iteration: the frontier keeps its size,
+        every per-hop op writes into a preallocated buffer, hop counts are
+        just ``hops += moved`` and the loop ends when nothing moved.  Each
+        time under half of the routes still move, the survivors are
+        compacted (the straggler tail otherwise dominates: max hops runs
+        well past the mean).  Success and terminals are
+        resolved in one vectorized pass afterwards; only routes stuck short
+        of their key (key lookups, never node-to-node traffic) pay a
+        responsible-node search then.
+        """
+        m = src.size
+        path_lists = [[int(s)] for s in src] if paths else None
+        dist2d, posflat, ids_small = self._ring_matrix()
+        dt = dist2d.dtype.type
+        width = dist2d.shape[1]
+        # mask only when the id space doesn't fill the dtype (wrap is free).
+        small_mask = None if int(self.mask) == np.iinfo(dt).max else dt(self.mask)
+        cur = self._positions(src).astype(np.intp)
+        dsm = dest.astype(dt)
+        hops = np.zeros(m, dtype=np.int64)
+        curid = np.empty(m, dtype=dt)
+        rem = np.empty(m, dtype=dt)
+        rem2 = rem[:, None]
+        rows = np.empty((m, width), dtype=dt)
+        le = np.empty((m, width), dtype=bool)
+        idx = np.empty(m, dtype=np.intp)
+        nxt = np.empty(m, dtype=np.intp)
+        moved = np.empty(m, dtype=bool)
+        sel: Optional[np.ndarray] = None  # original index of each survivor
+        full_cur = full_hops = full_dsm = None
+        for _ in range(MAX_HOPS + 1):
+            ids_small.take(cur, out=curid)
+            np.subtract(dsm, curid, out=rem)
+            if small_mask is not None:
+                np.bitwise_and(rem, small_mask, out=rem)
+            dist2d.take(cur, axis=0, out=rows)
+            np.less_equal(rows, rem2, out=le)
+            p = le.argmax(axis=1)
+            np.multiply(cur, width, out=idx)
+            np.add(idx, p, out=idx)
+            posflat.take(idx, out=nxt)
+            np.not_equal(nxt, cur, out=moved)
+            cnt = np.count_nonzero(moved)
+            if not cnt:
+                break
+            np.add(hops, moved, out=hops)
+            cur, nxt = nxt, cur
+            if path_lists is not None:
+                for ri in np.flatnonzero(moved).tolist():
+                    oi = ri if sel is None else int(sel[ri])
+                    path_lists[oi].append(int(self.ids[cur[ri]]))
+            if cnt * 2 < cur.size:
+                # Tail compaction.  Fresh small arrays for cur/nxt — the
+                # old ping-pong buffers still back ``full_cur``, so slicing
+                # them would corrupt finished routes' positions.
+                survivors = np.flatnonzero(moved)
+                if sel is None:
+                    full_cur, full_hops, full_dsm = cur, hops, dsm
+                    sel = survivors
+                else:
+                    full_hops[sel] += hops
+                    full_cur[sel] = cur
+                    sel = sel[survivors]
+                k = survivors.size
+                cur = cur[survivors]
+                dsm = dsm[survivors]
+                hops = np.zeros(k, dtype=np.int64)
+                curid, rem = curid[:k], rem[:k]
+                rem2 = rem[:, None]
+                rows, le, idx = rows[:k], le[:k], idx[:k]
+                nxt = np.empty(k, dtype=np.intp)
+                moved = moved[:k]
+        else:
+            raise RuntimeError(
+                f"routing exceeded {MAX_HOPS} hops: likely a broken network"
+            )
+        if sel is not None:
+            full_hops[sel] += hops
+            full_cur[sel] = cur
+            cur, hops, dsm = full_cur, full_hops, full_dsm
+        terminal = self.ids[cur]
+        final_rem = dsm - ids_small.take(cur)
+        if small_mask is not None:
+            final_rem &= small_mask
+        success = final_rem == dt(0)
+        stuck = np.flatnonzero(~success)
+        if stuck.size:
+            rp = (
+                np.searchsorted(self.ids, dest[stuck], side="right")
+                .astype(np.int64) - 1
+            )
+            resp = np.where(rp < 0, self.n - 1, rp)
+            success[stuck] = cur[stuck] == resp
+        return self._result(src, dest, hops, terminal, success, path_lists)
+
+    def _route_ring_alive(
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        alive_arr: np.ndarray,
+        paths: bool,
+    ) -> BatchResult:
+        """Filtered ring loop: per-hop segment scan over the frontier."""
+        m = src.size
+        cur = self._positions(src)
+        hops = np.zeros(m, dtype=np.int64)
+        success = np.zeros(m, dtype=bool)
+        terminal = cur.copy()
+        path_lists = [[int(s)] for s in src] if paths else None
+        active = np.arange(m, dtype=np.int64)
+        for _ in range(MAX_HOPS + 1):
+            if active.size == 0:
+                break
+            c = cur[active]
+            d = dest[active]
+            cur_ids = self.ids[c]
+            remaining = (d - cur_ids) & self.mask
+            at_dest = remaining == _ZERO
+            if np.any(at_dest):
+                fin = active[at_dest]
+                success[fin] = True
+                terminal[fin] = cur[fin]
+                active = active[~at_dest]
+                c, cur_ids, remaining = c[~at_dest], cur_ids[~at_dest], remaining[~at_dest]
+            if active.size == 0:
+                break
+            nxt, has_step = self._ring_step_alive(c, cur_ids, remaining, alive_arr)
+            stuck = active[~has_step]
+            if stuck.size:
+                success[stuck] = self._responsible(
+                    self.ids[cur[stuck]], dest[stuck], alive_arr
+                )
+                terminal[stuck] = cur[stuck]
+            adv = active[has_step]
+            if adv.size:
+                new_pos = nxt[has_step]
+                cur[adv] = new_pos
+                hops[adv] += 1
+                if path_lists is not None:
+                    for ri, nid in zip(adv.tolist(), self.ids[new_pos].tolist()):
+                        path_lists[ri].append(nid)
+            active = adv
+        if active.size:
+            raise RuntimeError(
+                f"routing exceeded {MAX_HOPS} hops: likely a broken network"
+            )
+        return self._result(src, dest, hops, self.ids[terminal], success, path_lists)
+
+    def route_xor(
+        self,
+        sources: Sequence[int],
+        dest_keys: Sequence[int],
+        alive: Optional[Set[int]] = None,
+        paths: bool = False,
+    ) -> BatchResult:
+        """Batch greedy XOR routing, identical to ``route_xor``."""
+        src, dest = _as_batch(sources, dest_keys)
+        if alive is None:
+            return self._route_xor_fast(src, dest, paths)
+        return self._route_xor_alive(src, dest, self._alive_array(alive), paths)
+
+    def _route_xor_fast(
+        self, src: np.ndarray, dest: np.ndarray, paths: bool
+    ) -> BatchResult:
+        """No-filter XOR loop: the bracketing pair via one searchsorted.
+
+        ``searchsorted(aug, caug | (d + 1), "left")`` is the first neighbor
+        ``>= d`` (or the high sentinel, i.e. the wrapped successor) and the
+        entry before it is the predecessor (or the low sentinel, the wrapped
+        one) — the exact two candidates the scalar scan reduces to.  The
+        predecessor wins only when strictly closer than both the successor
+        and the current node, mirroring the scalar scan order.
+        """
+        m = src.size
+        hops = np.zeros(m, dtype=np.int64)
+        success = np.zeros(m, dtype=bool)
+        terminal = src.copy()
+        path_lists = [[int(s)] for s in src] if paths else None
+        caug = self._positions(src).astype(_U64) << self.shift
+        cur_dist = src ^ dest
+        d = dest
+        dq = dest + _ONE
+        rid = np.arange(m, dtype=np.int64)
+        for it in range(MAX_HOPS + 1):
+            if rid.size == 0:
+                break
+            p1 = np.searchsorted(self.aug, caug | dq, side="left")
+            p2 = p1 - 1
+            d1 = self.cand_ids[p1] ^ d
+            d2 = self.cand_ids[p2] ^ d
+            pick2 = d2 < np.minimum(d1, cur_dist)
+            ok = pick2 | (d1 < cur_dist)  # a route at its key has cur_dist 0
+            if not ok.all():
+                fin = ~ok
+                fr = rid[fin]
+                cur_id_fin = self.ids[(caug[fin] >> self.shift).astype(np.int64)]
+                success[fr] = (cur_dist[fin] == _ZERO) | self._xor_closest(
+                    cur_id_fin, d[fin], None
+                )
+                terminal[fr] = cur_id_fin
+                hops[fr] = it
+                rid, d, dq = rid[ok], d[ok], dq[ok]
+                p1, p2, pick2 = p1[ok], p2[ok], pick2[ok]
+                d1, d2 = d1[ok], d2[ok]
+            pw = np.where(pick2, p2, p1)
+            cur_dist = np.where(pick2, d2, d1)
+            caug = self.cand_aug[pw]
+            if path_lists is not None:
+                for ri, nid in zip(rid.tolist(), self.cand_ids[pw].tolist()):
+                    path_lists[ri].append(nid)
+        if rid.size:
+            raise RuntimeError(
+                f"routing exceeded {MAX_HOPS} hops: likely a broken network"
+            )
+        return self._result(src, dest, hops, terminal, success, path_lists)
+
+    def _route_xor_alive(
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        alive_arr: np.ndarray,
+        paths: bool,
+    ) -> BatchResult:
+        """Filtered XOR loop: per-hop segment scan over the frontier."""
+        m = src.size
+        cur = self._positions(src)
+        hops = np.zeros(m, dtype=np.int64)
+        success = np.zeros(m, dtype=bool)
+        terminal = cur.copy()
+        path_lists = [[int(s)] for s in src] if paths else None
+        active = np.arange(m, dtype=np.int64)
+        for _ in range(MAX_HOPS + 1):
+            if active.size == 0:
+                break
+            c = cur[active]
+            d = dest[active]
+            cur_dist = self.ids[c] ^ d
+            at_dest = cur_dist == _ZERO
+            if np.any(at_dest):
+                fin = active[at_dest]
+                success[fin] = True
+                terminal[fin] = cur[fin]
+                active = active[~at_dest]
+                c, d, cur_dist = c[~at_dest], d[~at_dest], cur_dist[~at_dest]
+            if active.size == 0:
+                break
+            nxt, has_step = self._xor_step_alive(c, d, cur_dist, alive_arr)
+            stuck = active[~has_step]
+            if stuck.size:
+                success[stuck] = self._xor_closest(
+                    self.ids[cur[stuck]], dest[stuck], alive_arr
+                )
+                terminal[stuck] = cur[stuck]
+            adv = active[has_step]
+            if adv.size:
+                new_pos = nxt[has_step]
+                cur[adv] = new_pos
+                hops[adv] += 1
+                if path_lists is not None:
+                    for ri, nid in zip(adv.tolist(), self.ids[new_pos].tolist()):
+                        path_lists[ri].append(nid)
+            active = adv
+        if active.size:
+            raise RuntimeError(
+                f"routing exceeded {MAX_HOPS} hops: likely a broken network"
+            )
+        return self._result(src, dest, hops, self.ids[terminal], success, path_lists)
+
+    def route(
+        self,
+        sources: Sequence[int],
+        dest_keys: Sequence[int],
+        alive: Optional[Set[int]] = None,
+        paths: bool = False,
+    ) -> BatchResult:
+        """Route with the engine matching the network's declared metric."""
+        if self.metric == "ring":
+            return self.route_ring(sources, dest_keys, alive=alive, paths=paths)
+        if self.metric == "xor":
+            return self.route_xor(sources, dest_keys, alive=alive, paths=paths)
+        raise ValueError(f"unknown metric {self.metric!r}")
+
+    def _result(
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        hops: np.ndarray,
+        terminal: np.ndarray,
+        success: np.ndarray,
+        path_lists: Optional[List[List[int]]],
+    ) -> BatchResult:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter("perf.batch.routes").inc(int(src.size))
+            registry.counter("perf.batch.hops").inc(int(hops.sum()))
+        return BatchResult(
+            sources=src,
+            dest_keys=dest,
+            hops=hops,
+            terminals=terminal,
+            success=success,
+            paths=path_lists,
+        )
+
+
+def _as_batch(sources: Sequence[int], dest_keys: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    if not hasattr(sources, "__len__"):
+        sources = list(sources)
+    if not hasattr(dest_keys, "__len__"):
+        dest_keys = list(dest_keys)
+    src = np.asarray(sources, dtype=_U64)
+    dest = np.asarray(dest_keys, dtype=_U64)
+    if src.shape != dest.shape:
+        raise ValueError(f"{src.size} sources vs {dest.size} destination keys")
+    return src, dest
+
+
+def _in_sorted(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted array via binary search."""
+    if sorted_arr.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.minimum(np.searchsorted(sorted_arr, values), sorted_arr.size - 1)
+    return sorted_arr[pos] == values
+
+
+def compile_network(network: DHTNetwork, cached: bool = True) -> CompiledNetwork:
+    """Compile (and by default memoize on the network) the CSR layout.
+
+    Link tables are static after :meth:`~repro.core.network.DHTNetwork.build`,
+    so the compiled form is cached on the network object; pass
+    ``cached=False`` after mutating ``links`` by hand.  Compilation time
+    accrues to the ``compile`` phase of :data:`repro.obs.profile.PROFILER`.
+    """
+    if cached:
+        compiled = network.__dict__.get("_perf_compiled")
+        if compiled is not None:
+            return compiled
+    with PROFILER.phase("compile"):
+        compiled = CompiledNetwork(network)
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("perf.batch.compiles").inc()
+    if cached:
+        network.__dict__["_perf_compiled"] = compiled
+    return compiled
+
+
+def batch_route_ring(
+    network: DHTNetwork,
+    pairs: Sequence[Tuple[int, int]],
+    alive: Optional[Set[int]] = None,
+    paths: bool = False,
+) -> BatchResult:
+    """Batch :func:`~repro.core.routing.route_ring` over (src, key) pairs."""
+    srcs = [p[0] for p in pairs]
+    dests = [p[1] for p in pairs]
+    return compile_network(network).route_ring(srcs, dests, alive=alive, paths=paths)
+
+
+def batch_route_xor(
+    network: DHTNetwork,
+    pairs: Sequence[Tuple[int, int]],
+    alive: Optional[Set[int]] = None,
+    paths: bool = False,
+) -> BatchResult:
+    """Batch :func:`~repro.core.routing.route_xor` over (src, key) pairs."""
+    srcs = [p[0] for p in pairs]
+    dests = [p[1] for p in pairs]
+    return compile_network(network).route_xor(srcs, dests, alive=alive, paths=paths)
+
+
+def batch_route(
+    network: DHTNetwork,
+    pairs: Sequence[Tuple[int, int]],
+    alive: Optional[Set[int]] = None,
+    paths: bool = False,
+) -> BatchResult:
+    """Batch :func:`~repro.core.routing.route`: engine picked by metric."""
+    srcs = [p[0] for p in pairs]
+    dests = [p[1] for p in pairs]
+    return compile_network(network).route(srcs, dests, alive=alive, paths=paths)

@@ -18,21 +18,28 @@ from typing import List, Optional, Sequence, Set
 
 from ..core.hierarchy import DomainPath
 from ..core.network import DHTNetwork
-from ..core.routing import route_ring
+from ..core.routing import LiveSet, route_ring
 
 
 def fail_outside_domain(network: DHTNetwork, domain: DomainPath) -> Set[int]:
-    """Alive set after killing every node *outside* the given domain."""
-    return set(network.hierarchy.members(domain))
+    """Alive set after killing every node *outside* the given domain.
+
+    Returned as a :class:`~repro.core.routing.LiveSet` so the per-route
+    terminal checks reuse one cached sorted view instead of re-sorting.
+    """
+    return LiveSet(network.hierarchy.members(domain))
 
 
 def fail_random(network: DHTNetwork, fraction: float, rng) -> Set[int]:
-    """Alive set after killing a random fraction of all nodes."""
+    """Alive set after killing a random fraction of all nodes.
+
+    Returned as a :class:`~repro.core.routing.LiveSet` (see above).
+    """
     if not 0 <= fraction < 1:
         raise ValueError("fraction must be in [0, 1)")
     ids = list(network.node_ids)
     dead = set(rng.sample(ids, int(len(ids) * fraction)))
-    return set(ids) - dead
+    return LiveSet(set(ids) - dead)
 
 
 @dataclass
@@ -116,7 +123,7 @@ def survival_under_random_failures(
     rates: List[float] = []
     for fraction in fractions:
         alive = fail_random(network, fraction, rng)
-        live = sorted(alive)
+        live = alive.sorted_ids
         if len(live) < 2:
             rates.append(0.0)
             continue
