@@ -1,0 +1,229 @@
+"""Record the reference-vs-bulk construction baseline into ``BENCH_build.json``.
+
+Builds every DHT family twice — once on the scalar reference path
+(``use_numpy=False``) and once through the :mod:`repro.perf.build` bulk
+builders — on identical inputs, taking the best of ``--repeats`` timed
+builds of each, and writes the timings plus derived speedups as JSON.
+Setup (id draws, hierarchy, prefix trees) happens outside the timed
+region; each timed build starts from a freshly seeded RNG so both paths
+see the same state.  Every measurement is validated: deterministic
+families must produce identical link tables on both paths, randomized
+ones must agree on mean degree.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_build_baseline.py
+
+CAN and Can-Can use a reduced node count (``--size // 8``) because their
+reference constructions compare prefixes pairwise (quadratic); everything
+else builds at the full ``--size``.  The checked-in ``BENCH_build.json``
+is the reference point for the bulk-construction fast path (see
+``docs/performance.md``); CI re-records it at small scale on every push
+as a non-gating artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.hierarchy import Hierarchy, build_uniform_hierarchy  # noqa: E402
+from repro.core.idspace import IdSpace  # noqa: E402
+from repro.dhts.cacophony import CacophonyNetwork  # noqa: E402
+from repro.dhts.can import CANNetwork, PrefixTree  # noqa: E402
+from repro.dhts.cancan import CanCanNetwork  # noqa: E402
+from repro.dhts.chord import ChordNetwork  # noqa: E402
+from repro.dhts.crescendo import CrescendoNetwork  # noqa: E402
+from repro.dhts.kademlia import KademliaNetwork  # noqa: E402
+from repro.dhts.kandy import KandyNetwork  # noqa: E402
+from repro.dhts.mixed import LanCrescendoNetwork  # noqa: E402
+from repro.dhts.naive import NaiveHierarchicalChord  # noqa: E402
+from repro.dhts.ndchord import NDChordNetwork, NDCrescendoNetwork  # noqa: E402
+from repro.dhts.symphony import SymphonyNetwork  # noqa: E402
+from repro.experiments.common import FANOUT, ZIPF_EXPONENT  # noqa: E402
+
+LEVELS = 3
+
+
+def best_of(fn, repeats):
+    """(best seconds, last result) over ``repeats`` timed calls of ``fn``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _hierarchy_setup(size, seed):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    ids = space.random_ids(size, rng)
+    hierarchy = build_uniform_hierarchy(
+        ids, FANOUT, LEVELS, rng, distribution="zipf", zipf_exponent=ZIPF_EXPONENT
+    )
+    return space, hierarchy
+
+
+def _prefix_setup(size, seed):
+    rng = random.Random(seed)
+    space = IdSpace(32)
+    paths = [(f"lan{i % FANOUT}",) for i in range(size)]
+    leaves = PrefixTree(space.bits).grow_aligned(paths, rng)
+    hierarchy = Hierarchy()
+    prefixes = {}
+    for i, leaf in enumerate(leaves):
+        padded = leaf.padded(space.bits)
+        prefixes[padded] = leaf
+        hierarchy.place(padded, paths[i])
+    return space, hierarchy, prefixes
+
+
+def _exact(ref, bulk):
+    assert ref.links == bulk.links, "bulk links differ from reference"
+
+
+def _mean_degree(net):
+    return sum(len(net.links[n]) for n in net.node_ids) / net.size
+
+
+def _close(ref, bulk):
+    delta = abs(_mean_degree(ref) - _mean_degree(bulk))
+    assert delta < 0.5, f"mean degree diverges by {delta:.2f}"
+
+
+def family_specs(size):
+    """(name, nodes, make(use_numpy) -> unbuilt network, validate) tuples.
+
+    ``make`` seeds a fresh RNG per call so the reference and bulk timed
+    builds start from identical state.
+    """
+    small = max(256, size // 8)
+    specs = []
+
+    def hier(name, ctor, validate, nodes=size):
+        space, hierarchy = _hierarchy_setup(nodes, seed=len(specs) + 1)
+        specs.append((name, nodes, lambda un: ctor(space, hierarchy, un), validate))
+
+    hier("chord", lambda s, h, un: _flagged(ChordNetwork(s, h), un), _exact)
+    hier("crescendo", lambda s, h, un: _flagged(CrescendoNetwork(s, h), un), _exact)
+    hier(
+        "symphony",
+        lambda s, h, un: SymphonyNetwork(s, h, random.Random(101), use_numpy=un),
+        _close,
+    )
+    hier(
+        "cacophony",
+        lambda s, h, un: CacophonyNetwork(s, h, random.Random(102), un),
+        _close,
+    )
+    hier(
+        "ndchord",
+        lambda s, h, un: NDChordNetwork(s, h, random.Random(103), un),
+        _close,
+    )
+    hier(
+        "ndcrescendo",
+        lambda s, h, un: NDCrescendoNetwork(s, h, random.Random(104), un),
+        _close,
+    )
+    hier("mixed", lambda s, h, un: LanCrescendoNetwork(s, h, un), _exact)
+    hier("naive", lambda s, h, un: NaiveHierarchicalChord(s, h, un), _exact)
+    hier(
+        "kademlia",
+        lambda s, h, un: KademliaNetwork(s, h, None, 1, use_numpy=un),
+        _exact,
+    )
+    hier(
+        "kandy",
+        lambda s, h, un: KandyNetwork(s, h, None, 1, use_numpy=un),
+        _exact,
+    )
+
+    space, hierarchy, prefixes = _prefix_setup(small, seed=90)
+    specs.append(
+        ("can", small, lambda un: CANNetwork(space, hierarchy, prefixes, un), _exact)
+    )
+    specs.append(
+        (
+            "cancan",
+            small,
+            lambda un: CanCanNetwork(space, hierarchy, prefixes, None, use_numpy=un),
+            _exact,
+        )
+    )
+    return specs
+
+
+def _flagged(net, use_numpy):
+    net.use_numpy = use_numpy
+    return net
+
+
+def bench_builds(size, repeats):
+    out = {}
+    for name, nodes, make, validate in family_specs(size):
+        ref_s, ref = best_of(lambda: make(False).build(), repeats)
+        bulk_s, bulk = best_of(lambda: make(True).build(), repeats)
+        assert ref.built_with == "python", f"{name}: reference took the bulk path"
+        assert bulk.built_with == "numpy", f"{name}: bulk fell back to reference"
+        validate(ref, bulk)
+        out[name] = {
+            "nodes": nodes,
+            "reference_seconds": ref_s,
+            "bulk_seconds": bulk_s,
+            "speedup": ref_s / bulk_s,
+            "reference_nodes_per_s": nodes / ref_s,
+            "bulk_nodes_per_s": nodes / bulk_s,
+        }
+        print(
+            f"{name:12s} n={nodes:6d}  reference {ref_s * 1e3:8.1f}ms  "
+            f"bulk {bulk_s * 1e3:8.1f}ms  ({ref_s / bulk_s:.1f}x)"
+        )
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_build.json"),
+        help="output path (default: repo-root BENCH_build.json)",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=16384,
+        help="node count for the linear families (quadratic-reference "
+        "families use size // 8; default 16384)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed builds per measurement (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    doc = {
+        "workload": {
+            "nodes": args.size,
+            "hierarchy": f"fanout {FANOUT}, {LEVELS} levels, zipf {ZIPF_EXPONENT}",
+        },
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "build": bench_builds(args.size, args.repeats),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,14 @@ def test_build_symphony(benchmark):
     assert net.size == SIZE
 
 
+def test_build_symphony_python(benchmark):
+    space, hierarchy, rng = make_inputs()
+    net = benchmark(
+        lambda: SymphonyNetwork(space, hierarchy, rng, use_numpy=False).build()
+    )
+    assert net.size == SIZE
+
+
 def test_build_cacophony(benchmark):
     space, hierarchy, rng = make_inputs()
     net = benchmark(lambda: CacophonyNetwork(space, hierarchy, rng).build())
@@ -75,6 +83,14 @@ def test_build_nd_crescendo(benchmark):
 def test_build_kademlia(benchmark):
     space, hierarchy, rng = make_inputs()
     net = benchmark(lambda: KademliaNetwork(space, hierarchy, rng).build())
+    assert net.size == SIZE
+
+
+def test_build_kademlia_python(benchmark):
+    space, hierarchy, rng = make_inputs()
+    net = benchmark(
+        lambda: KademliaNetwork(space, hierarchy, rng, use_numpy=False).build()
+    )
     assert net.size == SIZE
 
 

@@ -34,6 +34,19 @@ class DegreeStats:
     @classmethod
     def of(cls, network: DHTNetwork) -> "DegreeStats":
         degrees = network.degrees()
+        if len(degrees) > 64:
+            import numpy as np
+
+            arr = np.asarray(degrees, dtype=np.int64)
+            values, counts = np.unique(arr, return_counts=True)
+            n = arr.size
+            return cls(
+                # Integer-sum division matches statistics.mean exactly.
+                mean=float(int(arr.sum())) / n,
+                maximum=int(values[-1]),
+                minimum=int(values[0]),
+                pdf={int(v): int(c) / n for v, c in zip(values, counts)},
+            )
         return cls(
             mean=statistics.mean(degrees),
             maximum=max(degrees),

@@ -43,12 +43,28 @@ class DHTNetwork:
         # Out-links only; the paper's degree figures count these.
         self.links: Dict[int, List[int]] = {i: [] for i in ids}
         self._built = False
+        # Builder dispatch: subclasses that have a bulk (numpy) construction
+        # consult _use_bulk() in build(); the scalar code stays the semantic
+        # reference.  built_with records which path actually ran.
+        self.use_numpy = True
+        self.built_with: Optional[str] = None
 
     # ------------------------------------------------------------- building
 
     def build(self) -> "DHTNetwork":
         """Populate the link table.  Returns ``self`` for chaining."""
         raise NotImplementedError
+
+    def _use_bulk(self) -> bool:
+        """Whether this build should take the vectorized bulk path.
+
+        Honours the per-network ``use_numpy`` flag, the process-wide build
+        mode (:func:`repro.perf.build.set_build_mode`) and the small-network
+        threshold; oversized id spaces (>63 bits) always run the reference.
+        """
+        from ..perf.build import bulk_enabled
+
+        return self.space.bits < 64 and bulk_enabled(self.use_numpy, self.size)
 
     def _finalize_links(self, link_sets: Dict[int, Set[int]]) -> None:
         """Install link sets, deduplicated, self-links removed, sorted by id.

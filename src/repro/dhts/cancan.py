@@ -49,14 +49,26 @@ class CanCanNetwork(CANNetwork):
         hierarchy: Hierarchy,
         prefixes: Dict[int, PrefixId],
         rng=None,
+        use_numpy: bool = True,
     ) -> None:
-        super().__init__(space, hierarchy, prefixes)
+        super().__init__(space, hierarchy, prefixes, use_numpy=use_numpy)
         self.rng = rng
         #: node -> bit position -> depth of the domain the edge came from.
         self.edge_depth: Dict[int, Dict[int, int]] = {}
 
     def build(self) -> "CanCanNetwork":
         """Populate the link table per this construction's rule."""
+        if self._use_bulk():
+            from ..perf.build import cancan_link_sets
+
+            self.built_with = "numpy"
+            lengths = [self.prefixes[node].length for node in self.node_ids]
+            link_sets, self.edge_depth = cancan_link_sets(
+                self.node_ids, lengths, self.space, self.hierarchy, self.rng
+            )
+            self._finalize_links(link_sets)
+            return self
+        self.built_with = "python"
         link_sets: Dict[int, Set[int]] = {node: set() for node in self.node_ids}
         self.edge_depth = {}
         for node in self.node_ids:
@@ -98,6 +110,7 @@ def build_cancan(
     rng,
     domain_paths: List[Tuple[str, ...]],
     align_domains: bool = True,
+    use_numpy: bool = True,
 ) -> CanCanNetwork:
     """Grow a prefix tree and build a Can-Can over the given placements.
 
@@ -121,4 +134,4 @@ def build_cancan(
         padded = leaf.padded(space.bits)
         prefixes[padded] = leaf
         hierarchy.place(padded, domain_paths[i])
-    return CanCanNetwork(space, hierarchy, prefixes, rng).build()
+    return CanCanNetwork(space, hierarchy, prefixes, rng, use_numpy=use_numpy).build()

@@ -79,10 +79,12 @@ class ChordNetwork(DHTNetwork):
 
     def build(self) -> "ChordNetwork":
         """Populate the link table per this construction's rule."""
-        if self.use_numpy and self.size > 64:
+        if self._use_bulk():
+            self.built_with = "numpy"
             arr = np.array(self.node_ids, dtype=np.uint64)
             link_sets = bulk_finger_links(arr, self.space)
         else:
+            self.built_with = "python"
             link_sets = {
                 node: finger_links(node, self.node_ids, self.space)
                 for node in self.node_ids

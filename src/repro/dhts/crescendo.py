@@ -71,6 +71,7 @@ class CrescendoNetwork(DHTNetwork):
         self.gap = {node: self.space.size for node in self.node_ids}
         self.level_successors = {node: [] for node in self.node_ids}
         depth_of = {node: len(self.hierarchy.path_of(node)) for node in self.node_ids}
+        self.built_with = "numpy" if self._use_bulk() else "python"
 
         domains = sorted(self.hierarchy.domains(), key=lambda d: -d.depth)
         for domain in domains:
@@ -83,7 +84,7 @@ class CrescendoNetwork(DHTNetwork):
                 # Hook point: proximity-adapted variants replace the top-level
                 # merge with group-based construction (Section 3.6).
                 self._build_top_domain(members, leaf_nodes, merge_nodes, link_sets)
-            elif self.use_numpy and len(members) > 64:
+            elif self._bulk_domain(members):
                 self._build_domain_numpy(members, leaf_nodes, merge_nodes, link_sets)
             else:
                 self._build_domain_python(members, leaf_nodes, merge_nodes, link_sets)
@@ -91,6 +92,12 @@ class CrescendoNetwork(DHTNetwork):
 
         self._finalize_links(link_sets)
         return self
+
+    def _bulk_domain(self, members: List[int]) -> bool:
+        """Whether one domain's ring is large enough for the bulk path."""
+        from ..perf.build import bulk_enabled
+
+        return self.space.bits < 64 and bulk_enabled(self.use_numpy, len(members))
 
     def _build_top_domain(
         self,
@@ -100,7 +107,7 @@ class CrescendoNetwork(DHTNetwork):
         link_sets: Dict[int, Set[int]],
     ) -> None:
         """Top-level (root) merge; the default is the ordinary Canon merge."""
-        if self.use_numpy and len(members) > 64:
+        if self._bulk_domain(members):
             self._build_domain_numpy(members, leaf_nodes, merge_nodes, link_sets)
         else:
             self._build_domain_python(members, leaf_nodes, merge_nodes, link_sets)

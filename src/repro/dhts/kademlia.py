@@ -110,14 +110,27 @@ class KademliaNetwork(DHTNetwork):
         hierarchy: Hierarchy,
         rng=None,
         bucket_size: int = 1,
+        use_numpy: bool = True,
     ) -> None:
         super().__init__(space, hierarchy)
         self.rng = rng
         self.bucket_size = bucket_size
+        self.use_numpy = use_numpy
 
     def build(self) -> "KademliaNetwork":
         """Populate the link table per this construction's rule."""
         members = self.node_ids
+        # Deterministic multi-contact buckets (rng None, bucket_size > 1)
+        # stay on the reference path; every other flavour has a bulk builder.
+        if self._use_bulk() and (self.rng is not None or self.bucket_size == 1):
+            from ..perf.build import kademlia_link_sets
+
+            self.built_with = "numpy"
+            self._finalize_links(
+                kademlia_link_sets(members, self.space, self.rng, self.bucket_size)
+            )
+            return self
+        self.built_with = "python"
         link_sets: Dict[int, Set[int]] = {}
         for node in members:
             links: Set[int] = set()

@@ -42,10 +42,12 @@ class KandyNetwork(DHTNetwork):
         hierarchy: Hierarchy,
         rng=None,
         bucket_size: int = 1,
+        use_numpy: bool = True,
     ) -> None:
         super().__init__(space, hierarchy)
         self.rng = rng
         self.bucket_size = bucket_size
+        self.use_numpy = use_numpy
         #: node -> bucket index -> depth of the domain the contact came from
         #: (exposed for the locality analysis and tests).
         self.contact_depth: Dict[int, Dict[int, int]] = {}
@@ -53,6 +55,18 @@ class KandyNetwork(DHTNetwork):
     def build(self) -> "KandyNetwork":
         """Populate the link table per this construction's rule."""
         space = self.space
+        # Deterministic multi-contact buckets (rng None, bucket_size > 1)
+        # stay on the reference path; every other flavour has a bulk builder.
+        if self._use_bulk() and (self.rng is not None or self.bucket_size == 1):
+            from ..perf.build import kandy_link_sets
+
+            self.built_with = "numpy"
+            link_sets, self.contact_depth = kandy_link_sets(
+                self.node_ids, space, self.hierarchy, self.rng, self.bucket_size
+            )
+            self._finalize_links(link_sets)
+            return self
+        self.built_with = "python"
         link_sets: Dict[int, Set[int]] = {}
         self.contact_depth = {}
         for node in self.node_ids:

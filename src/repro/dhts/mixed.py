@@ -28,13 +28,26 @@ class LanCrescendoNetwork(DHTNetwork):
 
     metric = "ring"
 
-    def __init__(self, space: IdSpace, hierarchy: Hierarchy) -> None:
+    def __init__(
+        self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True
+    ) -> None:
         super().__init__(space, hierarchy)
+        self.use_numpy = use_numpy
         self.gap: Dict[int, int] = {}
 
     def build(self) -> "LanCrescendoNetwork":
         """Populate the link table per this construction's rule."""
         space = self.space
+        if self._use_bulk():
+            from ..perf.build import lan_crescendo_link_sets
+
+            self.built_with = "numpy"
+            link_sets, self.gap = lan_crescendo_link_sets(
+                self.node_ids, space, self.hierarchy
+            )
+            self._finalize_links(link_sets)
+            return self
+        self.built_with = "python"
         link_sets: Dict[int, Set[int]] = {node: set() for node in self.node_ids}
         self.gap = {node: space.size for node in self.node_ids}
         depth_of = {node: len(self.hierarchy.path_of(node)) for node in self.node_ids}

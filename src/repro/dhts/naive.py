@@ -23,9 +23,22 @@ class NaiveHierarchicalChord(DHTNetwork):
 
     metric = "ring"
 
+    def __init__(
+        self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True
+    ) -> None:
+        super().__init__(space, hierarchy)
+        self.use_numpy = use_numpy
+
     def build(self) -> "NaiveHierarchicalChord":
         """Populate the link table per this construction's rule."""
         space = self.space
+        if self._use_bulk():
+            from ..perf.build import naive_link_sets
+
+            self.built_with = "numpy"
+            self._finalize_links(naive_link_sets(self.node_ids, space, self.hierarchy))
+            return self
+        self.built_with = "python"
         link_sets: Dict[int, Set[int]] = {node: set() for node in self.node_ids}
         for node in self.node_ids:
             path = self.hierarchy.path_of(node)

@@ -20,6 +20,21 @@ from ..core.network import DHTNetwork
 _MAX_DRAWS = 64
 
 
+def _note_short_draws(missing: int) -> None:
+    """Count long links abandoned because the distinctness budget ran out.
+
+    Tiny or clustered rings can exhaust ``_MAX_DRAWS`` attempts per link and
+    come up short; that silently thins the degree distribution, so both the
+    scalar and bulk builders report it via the ``build.symphony.short_draws``
+    counter for post-hoc inspection (``repro.obs.metrics``).
+    """
+    from ..obs.metrics import active_registry
+
+    registry = active_registry()
+    if registry is not None:
+        registry.counter("build.symphony.short_draws").inc(missing)
+
+
 def harmonic_distance(space: IdSpace, population: int, rng) -> int:
     """Draw a clockwise distance from Symphony's harmonic distribution.
 
@@ -52,6 +67,8 @@ def draw_long_links(
         succ = members[successor_index(members, target)]
         if succ != node_id:
             links.add(succ)
+    if len(links) < count:
+        _note_short_draws(count - len(links))
     return links
 
 
@@ -93,16 +110,27 @@ class SymphonyNetwork(DHTNetwork):
         hierarchy: Hierarchy,
         rng,
         links_per_node: int = 0,
+        use_numpy: bool = True,
     ) -> None:
         super().__init__(space, hierarchy)
         self.rng = rng
         self.links_per_node = links_per_node
+        self.use_numpy = use_numpy
 
     def build(self) -> "SymphonyNetwork":
         """Populate the link table per this construction's rule."""
         members = self.node_ids
         population = len(members)
         count = self.links_per_node or max(1, int(math.log2(max(2, population))))
+        if self._use_bulk():
+            from ..perf.build import symphony_link_sets
+
+            self.built_with = "numpy"
+            self._finalize_links(
+                symphony_link_sets(members, count, self.space, self.rng)
+            )
+            return self
+        self.built_with = "python"
         link_sets = {}
         for pos, node in enumerate(members):
             links = draw_long_links(node, members, count, self.space, self.rng)

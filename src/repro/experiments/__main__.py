@@ -26,6 +26,7 @@ import time
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.profile import PROFILER
+from ..perf import build as perf_build
 from ..perf import cache as perf_cache
 from ..perf import executor as perf_executor
 from . import EXPERIMENTS
@@ -116,6 +117,14 @@ def main(argv=None) -> int:
         "~/.cache/repro-canon/networks)",
     )
     parser.add_argument(
+        "--build",
+        default="auto",
+        choices=("auto", "numpy", "python"),
+        help="link-table construction path: auto (bulk builders above the "
+        "size threshold; default), numpy (force bulk), python (force the "
+        "scalar reference builders)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -139,9 +148,11 @@ def main(argv=None) -> int:
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     perf_executor.set_default_jobs(args.jobs)
+    perf_build.set_build_mode(args.build)
     try:
         exit_code = _dispatch(args)
     finally:
+        perf_build.set_build_mode("auto")
         perf_executor.set_default_jobs(1)
         if cache is not None:
             stats = cache.stats()

@@ -13,13 +13,26 @@ to the plain implementations they accelerate:
   keep results identical to serial runs, and child metrics registries are
   merged back via the obs snapshot/merge API.
 - :mod:`repro.perf.cache` — an on-disk cache of built link tables keyed by
-  (family, size, levels, seed token, id-space bits) so repeated experiment
-  runs skip network construction.
+  (family, size, levels, seed token, id-space bits, builder tag) so
+  repeated experiment runs skip network construction.
+- :mod:`repro.perf.build` — vectorized bulk link-table builders for every
+  DHT family, dispatched via each network's ``use_numpy`` flag (and the
+  process-wide :func:`~repro.perf.build.set_build_mode` override); the
+  scalar constructions in :mod:`repro.dhts` remain the cross-checked
+  reference.
 
 See ``docs/performance.md`` for the layout, invalidation rules and
 benchmark methodology.
 """
 
+from .build import (
+    BUILDER_VERSION,
+    builder_tag,
+    bulk_enabled,
+    derive_generator,
+    get_build_mode,
+    set_build_mode,
+)
 from .cache import (
     NetworkCache,
     active_cache,
@@ -46,6 +59,7 @@ from .kernels import (
 )
 
 __all__ = [
+    "BUILDER_VERSION",
     "BatchResult",
     "CompiledNetwork",
     "NetworkCache",
@@ -53,15 +67,20 @@ __all__ = [
     "batch_route",
     "batch_route_ring",
     "batch_route_xor",
+    "builder_tag",
+    "bulk_enabled",
     "caching",
     "compile_network",
     "default_cache_dir",
+    "derive_generator",
     "disable",
     "enable",
+    "get_build_mode",
     "get_default_jobs",
     "install_network",
     "map_points",
     "network_payload",
     "resolve_jobs",
+    "set_build_mode",
     "set_default_jobs",
 ]

@@ -1,0 +1,768 @@
+"""Vectorized bulk builders for every DHT family's link-table construction.
+
+The scalar constructions in :mod:`repro.dhts` are the semantic reference:
+one node at a time, one draw / binary search at a time.  At the paper's
+32K-65K node scales that makes *building* the networks — not routing them —
+the dominant cost of every experiment grid.  This module rebuilds each
+family's link table in array form:
+
+- Symphony/Cacophony: harmonic inverse-CDF draws in ``(nodes x count)``
+  batches with distinct-rejection redraw rounds and one ``searchsorted``
+  successor snap per batch (:func:`bulk_harmonic_draws`).
+- Kademlia/Kandy: per-bit bucket boundaries for *all* nodes with two
+  ``searchsorted`` sweeps, plus a vectorized binary-trie descent for the
+  deterministic XOR-closest contact (:func:`_xor_closest_in_ranges`).
+- CAN/Can-Can: a neighbor of leaf ``x`` at flipped bit ``p`` is exactly a
+  leaf whose interval overlaps ``x``'s sibling interval at depth ``p`` — a
+  contiguous range of the padded-id order, so adjacency needs no pairwise
+  prefix comparisons at all.
+- ND-Chord/ND-Crescendo: annulus member ranges via cyclic successor
+  searches, with the ``count == 0`` full-ring/empty disambiguation of
+  :func:`repro.dhts.ndchord.annulus_choice` applied vectorially.
+- mixed/naive: Chord-style finger matrices per domain (as
+  ``crescendo._build_domain_numpy`` already does).
+
+Randomized families draw from a numpy ``Generator`` derived from the
+caller's ``random.Random`` (:func:`derive_generator`): vectorization
+reorders RNG consumption, so streams cannot match the reference draw for
+draw — the bulk output is *distributionally* identical (tested) while the
+deterministic families are *exactly* identical (also tested).
+
+Dispatch convention: every network constructor takes ``use_numpy=True``
+and its ``build()`` consults :func:`bulk_enabled`, which honours the
+process-wide override of :func:`set_build_mode` (the experiments CLI
+``--build`` flag).  :func:`builder_tag` names the implementation that will
+run for a given configuration; it is a mandatory component of network
+cache keys so a vectorized build never serves tables cached by the
+reference path or vice versa (see :mod:`repro.perf.cache`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy
+from ..core.idspace import IdSpace
+from ..dhts.symphony import _MAX_DRAWS, _note_short_draws
+
+__all__ = [
+    "BUILDER_VERSION",
+    "BULK_THRESHOLD",
+    "builder_tag",
+    "bulk_enabled",
+    "bulk_harmonic_draws",
+    "cacophony_link_sets",
+    "can_link_sets",
+    "cancan_link_sets",
+    "derive_generator",
+    "get_build_mode",
+    "kademlia_link_sets",
+    "kandy_link_sets",
+    "lan_crescendo_link_sets",
+    "naive_link_sets",
+    "ndchord_link_sets",
+    "ndcrescendo_link_sets",
+    "set_build_mode",
+    "symphony_link_sets",
+]
+
+#: Bump whenever any bulk builder's output could change; part of every
+#: network cache key via :func:`builder_tag`.
+BUILDER_VERSION = 1
+
+#: Node-count threshold below which the scalar reference is at least as
+#: fast as setting up arrays (mirrors the original chord/crescendo cutoff).
+BULK_THRESHOLD = 64
+
+_MODES = ("auto", "numpy", "python")
+_mode = "auto"
+
+
+def set_build_mode(mode: str) -> None:
+    """Process-wide builder override: ``auto`` (per-network ``use_numpy``
+    and size threshold), ``numpy`` (force bulk) or ``python`` (force the
+    scalar reference).  Wired to the experiments CLI ``--build`` flag."""
+    global _mode
+    if mode not in _MODES:
+        raise ValueError(f"unknown build mode {mode!r}; pick one of {_MODES}")
+    _mode = mode
+
+
+def get_build_mode() -> str:
+    """The current process-wide build mode."""
+    return _mode
+
+
+def bulk_enabled(use_numpy: bool, size: int) -> bool:
+    """Whether a build of ``size`` nodes should take the bulk path."""
+    if _mode == "python":
+        return False
+    if _mode == "numpy":
+        return True
+    return bool(use_numpy) and size > BULK_THRESHOLD
+
+
+def builder_tag(use_numpy: bool = True, size: Optional[int] = None) -> str:
+    """Cache-key component naming the builder implementation that will run.
+
+    ``python`` is the scalar reference; ``numpy-v<N>`` identifies the bulk
+    builders at :data:`BUILDER_VERSION`.  With ``size`` omitted the tag
+    assumes a network above :data:`BULK_THRESHOLD`.
+    """
+    if size is None:
+        size = BULK_THRESHOLD + 1
+    return f"numpy-v{BUILDER_VERSION}" if bulk_enabled(use_numpy, size) else "python"
+
+
+def derive_generator(rng) -> np.random.Generator:
+    """A numpy ``Generator`` seeded deterministically from ``rng``.
+
+    Bulk builders consume randomness in a different order than the scalar
+    reference, so the streams cannot match draw for draw; what matters is
+    that the derived generator is a pure function of the caller's RNG state
+    (reproducible) and that deriving it *advances* ``rng``, so downstream
+    draws differ from a run that never built this network — mirroring the
+    reference's consumption.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng.getrandbits(128))
+
+
+def _as_array(members: Sequence[int]) -> np.ndarray:
+    return np.asarray(members, dtype=np.uint64)
+
+
+def _depth_of(hierarchy: Hierarchy, node_ids: Sequence[int]) -> Dict[int, int]:
+    return {node: len(hierarchy.path_of(node)) for node in node_ids}
+
+
+def _domains_deepest_first(hierarchy: Hierarchy):
+    return sorted(hierarchy.domains(), key=lambda d: -d.depth)
+
+
+# ------------------------------------------------------- Symphony / Cacophony
+
+
+def bulk_harmonic_draws(
+    arr: np.ndarray, count: int, space: IdSpace, gen: np.random.Generator
+) -> List[Set[int]]:
+    """Per-member sets of up to ``count`` distinct harmonic long links.
+
+    Vectorized :func:`repro.dhts.symphony.draw_long_links` over one ring:
+    inverse-CDF distances for a whole batch at once, one ``searchsorted``
+    successor snap per round, then distinct-rejection — only rows still
+    short of ``count`` distinct non-self links redraw, each within the same
+    ``count * _MAX_DRAWS`` attempt budget as the scalar loop.  Rows whose
+    budget runs out emit the ``build.symphony.short_draws`` counter.
+    """
+    n = int(arr.size)
+    sets: List[Set[int]] = [set() for _ in range(n)]
+    if n < 2 or count <= 0:
+        return sets
+    size = np.uint64(space.size)
+    scale = float(space.size)
+    budget = count * _MAX_DRAWS
+    rows = np.arange(n)
+    spent = 0
+    while rows.size and spent < budget:
+        cols = min(count, budget - spent)
+        u = gen.random((rows.size, cols))
+        dist = (np.power(float(n), u - 1.0) * scale).astype(np.uint64)
+        np.maximum(dist, np.uint64(1), out=dist)
+        targets = (arr[rows][:, None] + dist) % size
+        idx = np.searchsorted(arr, targets)
+        idx[idx == n] = 0
+        snapped = arr[idx].tolist()
+        own = arr[rows].tolist()
+        short = []
+        for row, me, values in zip(rows.tolist(), own, snapped):
+            links = sets[row]
+            if not links and len(values) == count:
+                # Fast path: a full round of all-distinct non-self draws is
+                # the whole answer (order among iid draws is irrelevant).
+                distinct = set(values)
+                distinct.discard(me)
+                if len(distinct) == count:
+                    sets[row] = distinct
+                    continue
+            for value in values:
+                if value != me and len(links) < count:
+                    links.add(value)
+            if len(links) < count:
+                short.append(row)
+        spent += cols
+        rows = np.asarray(short, dtype=np.int64)
+    if rows.size:
+        missing = sum(count - len(sets[row]) for row in rows.tolist())
+        if missing > 0:
+            _note_short_draws(missing)
+    return sets
+
+
+def symphony_link_sets(
+    node_ids: Sequence[int], count: int, space: IdSpace, rng
+) -> Dict[int, Set[int]]:
+    """Bulk Symphony: harmonic long links plus the successor short link."""
+    arr = _as_array(node_ids)
+    sets = bulk_harmonic_draws(arr, count, space, derive_generator(rng))
+    n = len(node_ids)
+    out: Dict[int, Set[int]] = {}
+    for pos, node in enumerate(node_ids):
+        links = sets[pos]
+        links.add(node_ids[(pos + 1) % n])
+        out[node] = links
+    return out
+
+
+def cacophony_link_sets(
+    node_ids: Sequence[int], space: IdSpace, hierarchy: Hierarchy, rng
+) -> Tuple[Dict[int, Set[int]], Dict[int, int]]:
+    """Bulk Cacophony: per-domain harmonic draws, gap-filtered at merges."""
+    gen = derive_generator(rng)
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    gap = {node: space.size for node in node_ids}
+    depth_of = _depth_of(hierarchy, node_ids)
+    for domain in _domains_deepest_first(hierarchy):
+        members = hierarchy.sorted_members(domain.path)
+        if not members:
+            continue
+        population = len(members)
+        count = max(1, int(math.log2(population))) if population > 1 else 0
+        arr = _as_array(members)
+        drawn = bulk_harmonic_draws(arr, count, space, gen)
+        for pos, node in enumerate(members):
+            links = drawn[pos]
+            if depth_of[node] == domain.depth:
+                out[node].update(links)
+            else:
+                g = gap[node]
+                out[node].update(
+                    link for link in links if space.ring_distance(node, link) < g
+                )
+            successor = members[(pos + 1) % population]
+            if successor != node:
+                out[node].add(successor)
+                gap[node] = space.ring_distance(node, successor)
+            else:
+                gap[node] = space.size
+    return out, gap
+
+
+# ----------------------------------------------------------- Kademlia / Kandy
+
+
+def _xor_closest_in_ranges(
+    arr: np.ndarray,
+    x: np.ndarray,
+    lo: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Position in ``arr`` of the XOR-closest member to each ``x`` in
+    ``arr[i:j)``.
+
+    Every range must be non-empty and lie inside bucket ``k`` of its ``x``
+    (members agree with ``x`` above bit ``k``, starting at ``lo``), so the
+    closest member falls out of a binary-trie descent: at each lower bit
+    prefer the half that matches ``x``'s bit when it is non-empty.
+    """
+    ii = i.astype(np.int64)
+    jj = j.astype(np.int64)
+    pref = lo.astype(np.uint64)
+    for b in range(k - 1, -1, -1):
+        live = (jj - ii) > 1
+        if not live.any():
+            break
+        bb = np.uint64(1 << b)
+        # All of arr[ii:jj) lies in [pref, pref + 2^(b+1)), so the global
+        # insertion point of the half boundary lands inside [ii, jj].
+        mid = np.searchsorted(arr, pref | bb).astype(np.int64)
+        want_hi = (x & bb) != np.uint64(0)
+        go_hi = np.where(want_hi, mid < jj, ~(mid > ii)) & live
+        ii = np.where(go_hi, mid, ii)
+        jj = np.where(live & ~go_hi, mid, jj)
+        pref = np.where(go_hi, pref | bb, pref)
+    return ii
+
+
+def _sample_offsets(
+    gen: np.random.Generator, spans: np.ndarray, count: int
+) -> List[Set[int]]:
+    """Per-row sets of ``count`` distinct offsets in ``[0, spans[row])``.
+
+    Callers guarantee ``spans > count``; rows with duplicate draws simply
+    redraw (rejection sampling, identical in distribution to
+    ``rng.sample``).
+    """
+    sets: List[Set[int]] = [set() for _ in range(spans.size)]
+    rows = np.arange(spans.size)
+    while rows.size:
+        draw = gen.integers(0, spans[rows][:, None], size=(rows.size, count))
+        short = []
+        for row, values in zip(rows.tolist(), draw.tolist()):
+            chosen = sets[row]
+            for value in values:
+                if len(chosen) < count:
+                    chosen.add(value)
+            if len(chosen) < count:
+                short.append(row)
+        rows = np.asarray(short, dtype=np.int64)
+    return sets
+
+
+def _bucket_contacts(
+    arr: np.ndarray,
+    members: Sequence[int],
+    act: np.ndarray,
+    lo: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+    k: int,
+    gen: Optional[np.random.Generator],
+    bucket_size: int,
+    out: Dict[int, Set[int]],
+    record,
+) -> None:
+    """Resolve bucket-``k`` contacts for the rows ``act`` of one ring.
+
+    ``record(node)`` is invoked once per resolved row (Kandy/Can-Can depth
+    bookkeeping); contacts land directly in ``out``.
+    """
+    if gen is None:
+        pos = _xor_closest_in_ranges(arr, arr[act], lo[act], i[act], j[act], k)
+        for row, p in zip(act.tolist(), pos.tolist()):
+            node = members[row]
+            out[node].add(members[p])
+            record(node)
+        return
+    spans = j[act] - i[act]
+    if bucket_size == 1:
+        offs = gen.integers(0, spans)
+        picks = i[act] + offs
+        for row, p in zip(act.tolist(), picks.tolist()):
+            node = members[row]
+            out[node].add(members[p])
+            record(node)
+        return
+    full = spans <= bucket_size
+    full_rows = act[full]
+    if full_rows.size:
+        for row, a, b in zip(
+            full_rows.tolist(), i[full_rows].tolist(), j[full_rows].tolist()
+        ):
+            node = members[row]
+            out[node].update(members[a:b])
+            record(node)
+    samp_rows = act[~full]
+    if samp_rows.size:
+        chosen = _sample_offsets(gen, spans[~full], bucket_size)
+        for row, a, offsets in zip(samp_rows.tolist(), i[samp_rows].tolist(), chosen):
+            node = members[row]
+            out[node].update(members[a + o] for o in offsets)
+            record(node)
+
+
+def _bucket_ranges(
+    arr: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(lo, i, j)`` of bucket ``k`` for every member of a sorted ring."""
+    kk = np.uint64(k)
+    bit = np.uint64(1 << k)
+    lo = ((arr ^ bit) >> kk) << kk
+    i = np.searchsorted(arr, lo, side="left")
+    j = np.searchsorted(arr, lo + bit, side="left")
+    return lo, i, j
+
+
+def kademlia_link_sets(
+    node_ids: Sequence[int],
+    space: IdSpace,
+    rng=None,
+    bucket_size: int = 1,
+) -> Dict[int, Set[int]]:
+    """Bulk Kademlia: per-bit bucket ranges for all nodes at once.
+
+    Supports the deterministic flavour (``rng=None``) for ``bucket_size=1``
+    (the XOR-closest contact via trie descent) and the randomized flavour
+    for any bucket size; callers fall back to the reference for the
+    deterministic multi-contact case.
+    """
+    if rng is None and bucket_size != 1:
+        raise ValueError("bulk deterministic Kademlia supports bucket_size=1 only")
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    if len(node_ids) < 2:
+        return out
+    arr = _as_array(node_ids)
+    gen = derive_generator(rng) if rng is not None else None
+    for k in range(space.bits):
+        lo, i, j = _bucket_ranges(arr, k)
+        act = np.flatnonzero(j > i)
+        if act.size:
+            _bucket_contacts(
+                arr, node_ids, act, lo, i, j, k, gen, bucket_size, out,
+                lambda node: None,
+            )
+    return out
+
+
+def kandy_link_sets(
+    node_ids: Sequence[int],
+    space: IdSpace,
+    hierarchy: Hierarchy,
+    rng=None,
+    bucket_size: int = 1,
+) -> Tuple[Dict[int, Set[int]], Dict[int, Dict[int, int]]]:
+    """Bulk Kandy: per-domain bucket sweeps, deepest domain first.
+
+    Processing domains deepest-first and marking each (node, bucket) pair
+    resolved on its first non-empty hit reproduces the reference's "lowest
+    enclosing domain with a non-empty bucket" rule without walking ancestor
+    chains per node.
+    """
+    if rng is None and bucket_size != 1:
+        raise ValueError("bulk deterministic Kandy supports bucket_size=1 only")
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    contact_depth: Dict[int, Dict[int, int]] = {node: {} for node in node_ids}
+    n = len(node_ids)
+    if n < 2:
+        return out, contact_depth
+    garr = _as_array(node_ids)
+    gen = derive_generator(rng) if rng is not None else None
+    resolved = np.zeros((n, space.bits), dtype=bool)
+    for domain in _domains_deepest_first(hierarchy):
+        members = hierarchy.sorted_members(domain.path)
+        if len(members) < 2:
+            continue
+        arr = _as_array(members)
+        gpos = np.searchsorted(garr, arr)
+        depth = len(domain.path)
+        for k in range(space.bits):
+            lo, i, j = _bucket_ranges(arr, k)
+            act = np.flatnonzero((j > i) & ~resolved[gpos, k])
+            if act.size == 0:
+                continue
+            resolved[gpos[act], k] = True
+
+            def record(node, _k=k, _depth=depth):
+                contact_depth[node][_k] = _depth
+
+            _bucket_contacts(
+                arr, members, act, lo, i, j, k, gen, bucket_size, out, record
+            )
+    return out, contact_depth
+
+
+# ---------------------------------------------------------------- CAN family
+
+
+def _ranges_concat(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[r], ends[r])`` for every row."""
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - counts, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+def can_link_sets(
+    node_ids: Sequence[int], lengths: Sequence[int], bits: int
+) -> Dict[int, Set[int]]:
+    """Bulk CAN adjacency over sorted padded prefixes.
+
+    For leaf ``x`` of prefix length ``L``, the neighbors differing at bit
+    ``p < L`` are exactly the leaves whose interval overlaps ``x``'s sibling
+    interval at depth ``p`` — a contiguous run of the padded order: every
+    leaf *starting* inside it, plus possibly the one leaf covering its low
+    end from below.  Each undirected edge is discovered from both sides
+    (the differing bit is within both prefixes), so one directed insert per
+    discovery yields the full symmetric table.
+    """
+    arr = _as_array(node_ids)
+    lens = np.asarray(lengths, dtype=np.uint64)
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    n = arr.size
+    if n < 2:
+        return out
+    one = np.uint64(1)
+    width = one << (np.uint64(bits) - lens)
+    ends = arr + width
+    for p in range(int(lens.max())):
+        act = np.flatnonzero(lens > p)
+        if act.size == 0:
+            break
+        flip = one << np.uint64(bits - 1 - p)
+        lo = arr[act] ^ flip
+        hi = lo + width[act]
+        first = np.searchsorted(arr, lo, side="right").astype(np.int64) - 1
+        last = np.searchsorted(arr, hi, side="left").astype(np.int64)
+        # arr[first] starts at or below lo; include it only if it actually
+        # reaches lo (always true when the leaves partition the space).
+        covers = (first >= 0) & (ends[np.maximum(first, 0)] > lo)
+        first = first + 1 - covers
+        counts = last - first
+        valid = counts > 0
+        srcs = np.repeat(act[valid], counts[valid])
+        cands = _ranges_concat(first[valid], last[valid])
+        for s, c in zip(srcs.tolist(), cands.tolist()):
+            out[node_ids[s]].add(node_ids[c])
+    return out
+
+
+def cancan_link_sets(
+    node_ids: Sequence[int],
+    lengths: Sequence[int],
+    space: IdSpace,
+    hierarchy: Hierarchy,
+    rng=None,
+) -> Tuple[Dict[int, Set[int]], Dict[int, Dict[int, int]]]:
+    """Bulk Can-Can: lowest-domain hypercube edge per identifier bit.
+
+    Same interval characterization as :func:`can_link_sets`, restricted to
+    each domain's member list: candidates at bit ``p`` are the members
+    starting inside the sibling interval, or the single member covering it
+    from below (its dyadic interval then contains the whole sibling
+    interval, so no other member can overlap).  Deterministic choice is the
+    first candidate in member order, exactly as the reference's
+    ``options[0]``.
+    """
+    bits = space.bits
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    edge_depth: Dict[int, Dict[int, int]] = {node: {} for node in node_ids}
+    n = len(node_ids)
+    if n < 2:
+        return out, edge_depth
+    garr = _as_array(node_ids)
+    glen = dict(zip(node_ids, lengths))
+    maxlen = int(max(lengths))
+    gen = derive_generator(rng) if rng is not None else None
+    one = np.uint64(1)
+    resolved = np.zeros((n, maxlen), dtype=bool)
+    for domain in _domains_deepest_first(hierarchy):
+        members = hierarchy.sorted_members(domain.path)
+        if len(members) < 2:
+            continue
+        arr = _as_array(members)
+        lens = np.asarray([glen[m] for m in members], dtype=np.uint64)
+        ends = arr + (one << (np.uint64(bits) - lens))
+        gpos = np.searchsorted(garr, arr)
+        depth = len(domain.path)
+        for p in range(int(lens.max())):
+            rows = np.flatnonzero((lens > p) & ~resolved[gpos, p])
+            if rows.size == 0:
+                continue
+            flip = one << np.uint64(bits - 1 - p)
+            lo = arr[rows] ^ flip
+            hi = lo + (one << (np.uint64(bits) - lens[rows]))
+            lb = np.searchsorted(arr, lo, side="left").astype(np.int64)
+            ub = np.searchsorted(arr, hi, side="left").astype(np.int64)
+            pred = lb - 1
+            covers = (lb > 0) & (ends[np.maximum(pred, 0)] > lo)
+            sel = np.flatnonzero(covers | (ub > lb))
+            if sel.size == 0:
+                continue
+            if gen is None:
+                pick = np.where(covers[sel], pred[sel], lb[sel])
+            else:
+                spans = np.where(covers[sel], 1, ub[sel] - lb[sel])
+                pick = np.where(
+                    covers[sel], pred[sel], lb[sel] + gen.integers(0, spans)
+                )
+            resolved[gpos[rows[sel]], p] = True
+            for r, c in zip(rows[sel].tolist(), pick.tolist()):
+                node = members[r]
+                out[node].add(members[c])
+                edge_depth[node][p] = depth
+    return out, edge_depth
+
+
+# ------------------------------------------------------- ND-Chord / Crescendo
+
+
+def _annulus_counts(
+    arr: np.ndarray,
+    rows: np.ndarray,
+    lo: int,
+    hi: np.ndarray,
+    size: np.uint64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cyclic member ranges ``(start, count)`` of per-row annuli ``[lo, hi)``.
+
+    Mirrors :func:`repro.dhts.ndchord.annulus_choice`: ``count == 0`` is
+    disambiguated by testing whether the first candidate actually lies in
+    the annulus (then every member does).
+    """
+    n = int(arr.size)
+    base = arr[rows]
+    start = np.searchsorted(arr, (base + np.uint64(lo)) % size)
+    start[start == n] = 0
+    end = np.searchsorted(arr, (base + hi) % size)
+    end[end == n] = 0
+    count = (end - start) % n
+    zero = np.flatnonzero(count == 0)
+    if zero.size:
+        dist = (arr[start[zero]] - base[zero]) % size
+        count[zero] = np.where((dist >= np.uint64(lo)) & (dist < hi[zero]), n, 0)
+    return start, count
+
+
+def ndchord_link_sets(
+    node_ids: Sequence[int], space: IdSpace, rng
+) -> Dict[int, Set[int]]:
+    """Bulk nondeterministic Chord: one random link per distance octave."""
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    n = len(node_ids)
+    if n == 0:
+        return out
+    arr = _as_array(node_ids)
+    gen = derive_generator(rng)
+    size = np.uint64(space.size)
+    if n >= 2:
+        rows = np.arange(n)
+        for k in range(space.bits):
+            lo = 1 << k
+            hi = min(1 << (k + 1), space.size)
+            if hi <= lo:
+                continue
+            hi_arr = np.full(n, np.uint64(hi))
+            start, count = _annulus_counts(arr, rows, lo, hi_arr, size)
+            act = np.flatnonzero(count > 0)
+            if act.size == 0:
+                continue
+            pick = (start[act] + gen.integers(0, count[act])) % n
+            good = arr[pick] != arr[act]
+            for row, p in zip(act[good].tolist(), pick[good].tolist()):
+                out[node_ids[row]].add(node_ids[p])
+    for pos, node in enumerate(node_ids):
+        successor = node_ids[(pos + 1) % n]
+        if successor != node:
+            out[node].add(successor)
+    return out
+
+
+def ndcrescendo_link_sets(
+    node_ids: Sequence[int], space: IdSpace, hierarchy: Hierarchy, rng
+) -> Tuple[Dict[int, Set[int]], Dict[int, int]]:
+    """Bulk nondeterministic Crescendo: gap-clipped octaves per domain."""
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    gap = {node: space.size for node in node_ids}
+    depth_of = _depth_of(hierarchy, node_ids)
+    gen = derive_generator(rng)
+    size = np.uint64(space.size)
+    for domain in _domains_deepest_first(hierarchy):
+        members = hierarchy.sorted_members(domain.path)
+        if not members:
+            continue
+        population = len(members)
+        arr = _as_array(members)
+        if population >= 2:
+            gaps = np.asarray([gap[m] for m in members], dtype=np.uint64)
+            leaf = np.asarray(
+                [depth_of[m] == domain.depth for m in members], dtype=bool
+            )
+            for k in range(space.bits):
+                lo = 1 << k
+                if lo >= space.size:
+                    break
+                hi = np.uint64(min(1 << (k + 1), space.size))
+                hi_eff = np.where(leaf, hi, np.minimum(hi, gaps))
+                rows = np.flatnonzero(
+                    (leaf | (np.uint64(lo) < gaps)) & (hi_eff > np.uint64(lo))
+                )
+                if rows.size == 0:
+                    continue
+                start, count = _annulus_counts(arr, rows, lo, hi_eff[rows], size)
+                have = np.flatnonzero(count > 0)
+                if have.size == 0:
+                    continue
+                pick = (start[have] + gen.integers(0, count[have])) % population
+                chosen_rows = rows[have]
+                good = arr[pick] != arr[chosen_rows]
+                for r, p in zip(chosen_rows[good].tolist(), pick[good].tolist()):
+                    out[members[r]].add(members[p])
+        for pos, node in enumerate(members):
+            successor = members[(pos + 1) % population]
+            if successor != node:
+                new_gap = space.ring_distance(node, successor)
+                if depth_of[node] == domain.depth or new_gap < gap[node]:
+                    out[node].add(successor)
+                gap[node] = new_gap
+            else:
+                gap[node] = space.size
+    return out, gap
+
+
+# ------------------------------------------------------------- mixed / naive
+
+
+def _finger_matrix(
+    arr: np.ndarray, base: np.ndarray, space: IdSpace
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(succ, dist, ks)`` Chord finger snaps of ``base`` over ring ``arr``."""
+    size = np.uint64(space.size)
+    ks = np.uint64(1) << np.arange(space.bits, dtype=np.uint64)
+    targets = (base[:, None] + ks[None, :]) % size
+    idx = np.searchsorted(arr, targets)
+    idx[idx == arr.size] = 0
+    succ = arr[idx]
+    dist = (succ - base[:, None]) % size
+    return succ, dist, ks
+
+
+def lan_crescendo_link_sets(
+    node_ids: Sequence[int], space: IdSpace, hierarchy: Hierarchy
+) -> Tuple[Dict[int, Set[int]], Dict[int, int]]:
+    """Bulk mixed-level network: complete-graph LANs, Crescendo merges."""
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    gap = {node: space.size for node in node_ids}
+    depth_of = _depth_of(hierarchy, node_ids)
+    for domain in _domains_deepest_first(hierarchy):
+        members = hierarchy.sorted_members(domain.path)
+        if not members:
+            continue
+        population = len(members)
+        leaf_nodes = [m for m in members if depth_of[m] == domain.depth]
+        merge_nodes = [m for m in members if depth_of[m] > domain.depth]
+        for node in leaf_nodes:
+            out[node].update(members)  # self-link dropped by _finalize_links
+        if merge_nodes and population >= 2:
+            arr = _as_array(members)
+            base = _as_array(merge_nodes)
+            gaps = np.asarray([gap[m] for m in merge_nodes], dtype=np.uint64)
+            succ, dist, ks = _finger_matrix(arr, base, space)
+            keep = (dist != 0) & (dist < gaps[:, None]) & (ks[None, :] < gaps[:, None])
+            for row, node in enumerate(merge_nodes):
+                out[node].update(succ[row][keep[row]].tolist())
+        for pos, node in enumerate(members):
+            successor = members[(pos + 1) % population]
+            gap[node] = (
+                space.ring_distance(node, successor)
+                if successor != node
+                else space.size
+            )
+    return out, gap
+
+
+def naive_link_sets(
+    node_ids: Sequence[int], space: IdSpace, hierarchy: Hierarchy
+) -> Dict[int, Set[int]]:
+    """Bulk naive hierarchical Chord: full fingers in every ancestor ring."""
+    out: Dict[int, Set[int]] = {node: set() for node in node_ids}
+    for domain in hierarchy.domains():
+        members = hierarchy.sorted_members(domain.path)
+        if len(members) < 2:
+            continue
+        arr = _as_array(members)
+        succ, _, _ = _finger_matrix(arr, arr, space)
+        for node, row in zip(members, succ.tolist()):
+            out[node].update(row)  # self-links dropped by _finalize_links
+    return out

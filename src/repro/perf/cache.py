@@ -2,8 +2,14 @@
 
 Building a 32K-node Crescendo (let alone the four networks of a topology
 setup) dwarfs the routing measurements taken on it, yet the construction is
-a pure function of ``(family, size, levels, seed token, id-space bits)`` —
-exactly the cache key used here.  A :class:`NetworkCache` stores, per key,
+a pure function of ``(family, size, levels, seed token, id-space bits,
+builder tag)`` — exactly the cache key used here.  The builder tag
+(:func:`repro.perf.build.builder_tag`) names the implementation that will
+run — ``python`` (scalar reference) or ``numpy-v<N>`` (bulk builders at
+their current version) — because the randomized families draw different
+(equivalent, but not identical) link tables on each path: without the tag
+a vectorized run could serve tables cached by the reference path and vice
+versa.  A :class:`NetworkCache` stores, per key,
 everything a constructed-but-unbuilt network needs to become identical to a
 freshly built one: the link table, the Crescendo extras (``gap``,
 ``level_successors``) when present, and the builder RNG's post-build state
@@ -46,8 +52,9 @@ __all__ = [
 ]
 
 #: Bump when the payload layout (or anything affecting built link tables)
-#: changes; old entries then read as misses.
-CACHE_VERSION = 1
+#: changes; old entries then read as misses.  v2: keys grew the builder
+#: tag and payloads the Kandy/Can-Can extras (contact_depth, edge_depth).
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -182,6 +189,13 @@ def network_payload(
         payload["level_successors"] = {
             node: list(succ) for node, succ in level_successors.items()
         }
+    for extra in ("contact_depth", "edge_depth"):
+        value = getattr(network, extra, None)
+        if value is not None:
+            payload[extra] = {node: dict(depths) for node, depths in value.items()}
+    built_with = getattr(network, "built_with", None)
+    if built_with is not None:
+        payload["built_with"] = built_with
     return payload
 
 
@@ -200,6 +214,15 @@ def install_network(network: DHTNetwork, payload: Dict[str, Any]) -> DHTNetwork:
         network.level_successors = {
             node: list(succ) for node, succ in payload["level_successors"].items()
         }
+    for extra in ("contact_depth", "edge_depth"):
+        if extra in payload and hasattr(network, extra):
+            setattr(
+                network,
+                extra,
+                {node: dict(depths) for node, depths in payload[extra].items()},
+            )
+    if "built_with" in payload:
+        network.built_with = payload["built_with"]
     network._built = True
     return network
 

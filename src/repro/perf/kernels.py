@@ -557,48 +557,107 @@ class CompiledNetwork:
         one) — the exact two candidates the scalar scan reduces to.  The
         predecessor wins only when strictly closer than both the successor
         and the current node, mirroring the scalar scan order.
+
+        Like the ring loop, the hot loop reuses preallocated per-hop
+        workspace (``searchsorted`` itself allocates its index result;
+        every other op writes into a standing buffer) and keeps finished
+        routes in the frontier instead of boolean-filtering eight arrays
+        every iteration: a finished route recomputes the same candidate
+        pair, fails ``ok`` again, and is masked out of the in-place
+        updates.  The straggler tail is compacted away whenever under half
+        the batch is still moving, and success resolution (the stuck-route
+        closest-node check) runs once over the whole batch at the end
+        instead of a per-bit trie descent on every iteration that finishes
+        any route.
         """
         m = src.size
         hops = np.zeros(m, dtype=np.int64)
-        success = np.zeros(m, dtype=bool)
         terminal = src.copy()
         path_lists = [[int(s)] for s in src] if paths else None
         caug = self._positions(src).astype(_U64) << self.shift
         cur_dist = src ^ dest
         d = dest
         dq = dest + _ONE
-        rid = np.arange(m, dtype=np.int64)
-        for it in range(MAX_HOPS + 1):
-            if rid.size == 0:
+        act = np.ones(m, dtype=bool)
+        q = np.empty(m, dtype=_U64)
+        c1 = np.empty(m, dtype=_U64)
+        c2 = np.empty(m, dtype=_U64)
+        d1 = np.empty(m, dtype=_U64)
+        d2 = np.empty(m, dtype=_U64)
+        pm = np.empty(m, dtype=np.intp)
+        pick2 = np.empty(m, dtype=bool)
+        ok = np.empty(m, dtype=bool)
+        fin = np.empty(m, dtype=bool)
+        sel: Optional[np.ndarray] = None  # original index of each survivor
+        full_hops = None
+        for _ in range(MAX_HOPS + 1):
+            np.bitwise_or(caug, dq, out=q)
+            p1 = np.searchsorted(self.aug, q, side="left")
+            np.subtract(p1, 1, out=pm)
+            self.cand_ids.take(p1, out=c1)
+            self.cand_ids.take(pm, out=c2)
+            np.bitwise_xor(c1, d, out=d1)
+            np.bitwise_xor(c2, d, out=d2)
+            np.minimum(d1, cur_dist, out=q)
+            np.less(d2, q, out=pick2)
+            np.less(d1, cur_dist, out=ok)  # a route at its key has cur_dist 0
+            np.logical_or(ok, pick2, out=ok)
+            np.logical_not(ok, out=fin)
+            np.logical_and(fin, act, out=fin)  # newly finished this hop
+            if fin.any():
+                rows = np.flatnonzero(fin)
+                orig = rows if sel is None else sel[rows]
+                terminal[orig] = self.ids[
+                    (caug[rows] >> self.shift).astype(np.int64)
+                ]
+                np.logical_and(act, ok, out=act)
+            nact = np.count_nonzero(act)
+            if nact == 0:
                 break
-            p1 = np.searchsorted(self.aug, caug | dq, side="left")
-            p2 = p1 - 1
-            d1 = self.cand_ids[p1] ^ d
-            d2 = self.cand_ids[p2] ^ d
-            pick2 = d2 < np.minimum(d1, cur_dist)
-            ok = pick2 | (d1 < cur_dist)  # a route at its key has cur_dist 0
-            if not ok.all():
-                fin = ~ok
-                fr = rid[fin]
-                cur_id_fin = self.ids[(caug[fin] >> self.shift).astype(np.int64)]
-                success[fr] = (cur_dist[fin] == _ZERO) | self._xor_closest(
-                    cur_id_fin, d[fin], None
-                )
-                terminal[fr] = cur_id_fin
-                hops[fr] = it
-                rid, d, dq = rid[ok], d[ok], dq[ok]
-                p1, p2, pick2 = p1[ok], p2[ok], pick2[ok]
-                d1, d2 = d1[ok], d2[ok]
-            pw = np.where(pick2, p2, p1)
-            cur_dist = np.where(pick2, d2, d1)
-            caug = self.cand_aug[pw]
+            # Step every still-active route in place; finished rows are
+            # masked out of the writes and idle as free no-steps.
+            np.copyto(d1, d2, where=pick2)
+            np.copyto(cur_dist, d1, where=act)
+            np.subtract(p1, pick2, out=p1)  # index of the chosen candidate
+            self.cand_aug.take(p1, out=q)
+            np.copyto(caug, q, where=act)
+            np.add(hops, act, out=hops)
             if path_lists is not None:
-                for ri, nid in zip(rid.tolist(), self.cand_ids[pw].tolist()):
-                    path_lists[ri].append(nid)
-        if rid.size:
+                np.copyto(c1, c2, where=pick2)
+                step_ids = c1.tolist()
+                for ri in np.flatnonzero(act).tolist():
+                    oi = ri if sel is None else int(sel[ri])
+                    path_lists[oi].append(int(step_ids[ri]))
+            if nact * 2 < act.size:
+                # Tail compaction, folding local hop counts into the full
+                # array exactly as the ring loop does.
+                survivors = np.flatnonzero(act)
+                if sel is None:
+                    full_hops = hops
+                    sel = survivors
+                else:
+                    full_hops[sel] += hops
+                    sel = sel[survivors]
+                k = survivors.size
+                caug = caug[survivors]
+                cur_dist = cur_dist[survivors]
+                d = d[survivors]
+                dq = dq[survivors]
+                hops = np.zeros(k, dtype=np.int64)
+                act = np.ones(k, dtype=bool)
+                q, c1, c2, d1, d2 = q[:k], c1[:k], c2[:k], d1[:k], d2[:k]
+                pm, pick2, ok, fin = pm[:k], pick2[:k], ok[:k], fin[:k]
+        else:
             raise RuntimeError(
                 f"routing exceeded {MAX_HOPS} hops: likely a broken network"
             )
+        if sel is not None:
+            full_hops[sel] += hops
+            hops = full_hops
+        success = (terminal ^ dest) == _ZERO
+        stuck = np.flatnonzero(~success)
+        if stuck.size:
+            success[stuck] = self._xor_closest(terminal[stuck], dest[stuck], None)
         return self._result(src, dest, hops, terminal, success, path_lists)
 
     def _route_xor_alive(

@@ -1,0 +1,326 @@
+"""Bulk builders must be equivalent to the scalar reference constructions.
+
+Deterministic families (naive, LanCrescendo, deterministic Kademlia/Kandy,
+CAN, deterministic Can-Can) must produce *identical* link tables on both
+paths.  Randomized families consume randomness in a different order, so
+their tables are compared distributionally — mean degree, and a two-sample
+Kolmogorov-Smirnov test on the harmonic link-distance samples — while every
+RNG-independent side output (Cacophony/ND-Crescendo ``gap``, Kandy
+``contact_depth``, Can-Can ``edge_depth``, Kademlia/Kandy degree sequences)
+must still match exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.metrics import DegreeStats
+from repro.core.hierarchy import Hierarchy, build_uniform_hierarchy
+from repro.core.idspace import IdSpace
+from repro.dhts.cacophony import CacophonyNetwork
+from repro.dhts.can import PrefixTree, build_can
+from repro.dhts.cancan import CanCanNetwork, build_cancan
+from repro.dhts.kademlia import KademliaNetwork
+from repro.dhts.kandy import KandyNetwork
+from repro.dhts.mixed import LanCrescendoNetwork
+from repro.dhts.naive import NaiveHierarchicalChord
+from repro.dhts.ndchord import NDChordNetwork, NDCrescendoNetwork
+from repro.dhts.symphony import SymphonyNetwork, draw_long_links
+from repro.obs import metrics as obs_metrics
+from repro.perf import build as perf_build
+from repro.perf.build import (
+    BULK_THRESHOLD,
+    builder_tag,
+    bulk_enabled,
+    set_build_mode,
+)
+
+SIZE = 300
+BITS = 32
+
+
+@pytest.fixture(autouse=True)
+def _restore_build_mode():
+    yield
+    set_build_mode("auto")
+
+
+def _space():
+    return IdSpace(BITS)
+
+
+def _hierarchy(size, seed=11, levels=3, fanout=4):
+    rng = random.Random(seed)
+    space = _space()
+    ids = space.random_ids(size, rng)
+    return space, build_uniform_hierarchy(ids, fanout, levels, rng)
+
+
+def _pair(factory):
+    """Build the same network twice: scalar reference vs. bulk path."""
+    ref = factory(False).build()
+    bulk = factory(True).build()
+    assert ref.built_with == "python"
+    assert bulk.built_with == "numpy"
+    return ref, bulk
+
+
+# ------------------------------------------------------ deterministic families
+
+
+class TestDeterministicEquality:
+    def test_naive(self):
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(lambda un: NaiveHierarchicalChord(space, hierarchy, un))
+        assert ref.links == bulk.links
+
+    def test_lan_crescendo(self):
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(lambda un: LanCrescendoNetwork(space, hierarchy, un))
+        assert ref.links == bulk.links
+        assert ref.gap == bulk.gap
+
+    def test_kademlia_deterministic(self):
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(
+            lambda un: KademliaNetwork(space, hierarchy, None, 1, use_numpy=un)
+        )
+        assert ref.links == bulk.links
+
+    def test_kandy_deterministic(self):
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(
+            lambda un: KandyNetwork(space, hierarchy, None, 1, use_numpy=un)
+        )
+        assert ref.links == bulk.links
+        assert ref.contact_depth == bulk.contact_depth
+
+    @pytest.mark.parametrize("policy", ["random", "largest"])
+    def test_can(self, policy):
+        space = _space()
+        ref = build_can(space, SIZE, random.Random(5), policy, use_numpy=False)
+        bulk = build_can(space, SIZE, random.Random(5), policy, use_numpy=True)
+        assert ref.built_with == "python" and bulk.built_with == "numpy"
+        assert ref.node_ids == bulk.node_ids
+        assert ref.links == bulk.links
+
+    def test_cancan_deterministic(self):
+        space = _space()
+        paths = [("lan%d" % (i % 5),) for i in range(SIZE)]
+        tree = PrefixTree(space.bits)
+        leaves = tree.grow_aligned(paths, random.Random(6))
+        hierarchy = Hierarchy()
+        prefixes = {}
+        for i, leaf in enumerate(leaves):
+            padded = leaf.padded(space.bits)
+            prefixes[padded] = leaf
+            hierarchy.place(padded, paths[i])
+        ref, bulk = _pair(
+            lambda un: CanCanNetwork(space, hierarchy, prefixes, None, use_numpy=un)
+        )
+        assert ref.links == bulk.links
+        assert ref.edge_depth == bulk.edge_depth
+
+    def test_deterministic_kademlia_wide_bucket_stays_reference(self):
+        space, hierarchy = _hierarchy(SIZE)
+        net = KademliaNetwork(space, hierarchy, None, 3, use_numpy=True).build()
+        # Bulk has no deterministic multi-contact path; the build must fall
+        # back to the scalar reference rather than raise or approximate.
+        assert net.built_with == "python"
+        with pytest.raises(ValueError):
+            perf_build.kademlia_link_sets(net.node_ids, space, None, bucket_size=3)
+
+
+# --------------------------------------------------------- randomized families
+
+
+def _ks_distance(sample_a, sample_b):
+    """Two-sample Kolmogorov-Smirnov statistic, no scipy required."""
+    a = sorted(sample_a)
+    b = sorted(sample_b)
+    i = j = 0
+    d = 0.0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            i += 1
+        else:
+            j += 1
+        d = max(d, abs(i / len(a) - j / len(b)))
+    return d
+
+
+def _ks_critical(m, n, alpha=0.001):
+    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c * math.sqrt((m + n) / (m * n))
+
+
+def _link_distances(net):
+    space = net.space
+    return [
+        space.ring_distance(node, link)
+        for node in net.node_ids
+        for link in net.links[node]
+    ]
+
+
+def _mean_degree(net):
+    return sum(len(net.links[n]) for n in net.node_ids) / net.size
+
+
+class TestRandomizedEquivalence:
+    def test_symphony_distribution(self):
+        space, hierarchy = _hierarchy(512, levels=1)
+        ref, bulk = _pair(
+            lambda un: SymphonyNetwork(
+                space, hierarchy, random.Random(21), use_numpy=un
+            )
+        )
+        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+        da, db = _link_distances(ref), _link_distances(bulk)
+        assert _ks_distance(da, db) < _ks_critical(len(da), len(db))
+
+    def test_cacophony_distribution_and_gap(self):
+        space, hierarchy = _hierarchy(512)
+        ref, bulk = _pair(
+            lambda un: CacophonyNetwork(space, hierarchy, random.Random(22), un)
+        )
+        assert ref.gap == bulk.gap  # successor structure is rng-independent
+        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+        da, db = _link_distances(ref), _link_distances(bulk)
+        assert _ks_distance(da, db) < _ks_critical(len(da), len(db))
+
+    def test_ndchord_distribution(self):
+        space, hierarchy = _hierarchy(512)
+        ref, bulk = _pair(
+            lambda un: NDChordNetwork(space, hierarchy, random.Random(23), un)
+        )
+        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+
+    def test_ndcrescendo_distribution_and_gap(self):
+        space, hierarchy = _hierarchy(512)
+        ref, bulk = _pair(
+            lambda un: NDCrescendoNetwork(space, hierarchy, random.Random(24), un)
+        )
+        assert ref.gap == bulk.gap
+        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+
+    @pytest.mark.parametrize("bucket_size", [1, 3])
+    def test_kademlia_random_degree_sequence(self, bucket_size):
+        # Degree is the number of occupied (bucket, slot) pairs, which the
+        # id population fixes regardless of which contacts the rng picked.
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(
+            lambda un: KademliaNetwork(
+                space, hierarchy, random.Random(25), bucket_size, use_numpy=un
+            )
+        )
+        assert ref.degrees() == bulk.degrees()
+
+    @pytest.mark.parametrize("bucket_size", [1, 3])
+    def test_kandy_random_contact_depth(self, bucket_size):
+        space, hierarchy = _hierarchy(SIZE)
+        ref, bulk = _pair(
+            lambda un: KandyNetwork(
+                space, hierarchy, random.Random(26), bucket_size, use_numpy=un
+            )
+        )
+        assert ref.contact_depth == bulk.contact_depth
+        assert ref.degrees() == bulk.degrees()
+
+    def test_cancan_random_edge_depth(self):
+        space = _space()
+        paths = [("lan%d" % (i % 5),) for i in range(SIZE)]
+        ref = build_cancan(space, SIZE, random.Random(27), paths, use_numpy=False)
+        bulk = build_cancan(space, SIZE, random.Random(27), paths, use_numpy=True)
+        assert ref.edge_depth == bulk.edge_depth
+        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+
+
+# --------------------------------------------------------- short-draw counter
+
+
+class TestShortDrawCounter:
+    def test_scalar_reports_exhausted_budget(self):
+        space = _space()
+        members = sorted(random.Random(1).sample(range(space.size), 3))
+        with obs_metrics.collecting() as registry:
+            links = draw_long_links(members[0], members, 5, space, random.Random(2))
+        # Only two distinct non-self targets exist; 5 are impossible.
+        assert len(links) < 5
+        assert registry.counter("build.symphony.short_draws").value >= 5 - len(links)
+
+    def test_bulk_reports_exhausted_budget(self):
+        space, hierarchy = _hierarchy(70, levels=1)
+        with obs_metrics.collecting() as registry:
+            net = SymphonyNetwork(
+                space, hierarchy, random.Random(3), links_per_node=80, use_numpy=True
+            ).build()
+        assert net.built_with == "numpy"
+        assert registry.counter("build.symphony.short_draws").value > 0
+
+
+# ---------------------------------------------------------- cache interaction
+
+
+class TestCacheKeying:
+    def test_builder_tag_partitions_cache_entries(self, tmp_path):
+        from repro.experiments.common import build_crescendo, seeded_rng
+        from repro.perf import cache as perf_cache
+        from repro.perf.cache import NetworkCache
+
+        token = ("build-tag-test",)
+        with perf_cache.caching(NetworkCache(tmp_path / "networks")) as cache:
+            set_build_mode("numpy")
+            build_crescendo(128, 2, seeded_rng(*token), cache_token=token)
+            set_build_mode("python")
+            build_crescendo(128, 2, seeded_rng(*token), cache_token=token)
+            # Different builder tags: the second build must not be served
+            # the bulk-built entry.
+            assert cache.stats() == {"hits": 0, "misses": 2, "stores": 2}
+            build_crescendo(128, 2, seeded_rng(*token), cache_token=token)
+            assert cache.stats()["hits"] == 1
+
+
+# ------------------------------------------------- dispatch, tags and metrics
+
+
+class TestDispatch:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            set_build_mode("fortran")
+
+    def test_mode_overrides_threshold(self):
+        assert not bulk_enabled(True, BULK_THRESHOLD)
+        assert bulk_enabled(True, BULK_THRESHOLD + 1)
+        assert not bulk_enabled(False, BULK_THRESHOLD + 1)
+        set_build_mode("numpy")
+        assert bulk_enabled(False, 2)
+        set_build_mode("python")
+        assert not bulk_enabled(True, 1 << 20)
+
+    def test_builder_tag_names_the_path(self):
+        assert builder_tag(size=BULK_THRESHOLD + 1).startswith("numpy-v")
+        assert builder_tag(size=BULK_THRESHOLD) == "python"
+        assert builder_tag(use_numpy=False) == "python"
+        set_build_mode("python")
+        assert builder_tag(size=1 << 20) == "python"
+
+    def test_forced_python_mode_builds_reference(self):
+        space, hierarchy = _hierarchy(SIZE)
+        set_build_mode("python")
+        net = NaiveHierarchicalChord(space, hierarchy, use_numpy=True).build()
+        assert net.built_with == "python"
+
+    def test_degree_stats_vectorized_path_matches_scalar(self):
+        space, hierarchy = _hierarchy(SIZE)
+        net = NaiveHierarchicalChord(space, hierarchy).build()
+        stats = DegreeStats.of(net)
+        degrees = net.degrees()
+        assert stats.mean == statistics.mean(degrees)
+        assert stats.maximum == max(degrees)
+        assert stats.minimum == min(degrees)
+        assert stats.pdf == net.degree_distribution()
