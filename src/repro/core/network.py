@@ -20,6 +20,24 @@ from .hierarchy import Hierarchy, ROOT
 from .idspace import IdSpace, predecessor_index, successor_index
 
 
+class LinkTableError(AssertionError):
+    """A malformed entry in a network's link table.
+
+    Subclasses :class:`AssertionError` for backward compatibility with
+    callers that treat :meth:`DHTNetwork.check_links_valid` as an
+    assertion, but carries the offending coordinates so harnesses (and
+    humans reading CI logs) see *which* entry broke instead of an opaque
+    failure.
+    """
+
+    def __init__(self, node: int, link: Optional[int], reason: str) -> None:
+        self.node = node
+        self.link = link
+        self.reason = reason
+        where = f"node {node}" if link is None else f"node {node} -> {link}"
+        super().__init__(f"{where}: {reason}")
+
+
 class DHTNetwork:
     """Base class: an ID space, a hierarchy, and a per-node link table.
 
@@ -29,6 +47,9 @@ class DHTNetwork:
     """
 
     metric = "ring"
+    #: Short family tag used by :mod:`repro.verify` to select the invariant
+    #: checkers that apply to a built instance.  Subclasses override it.
+    family = "network"
 
     def __init__(self, space: IdSpace, hierarchy: Hierarchy) -> None:
         self.space = space
@@ -137,15 +158,39 @@ class DHTNetwork:
 
     # ------------------------------------------------------------ invariants
 
-    def check_links_valid(self) -> None:
-        """Every link target exists and no node links to itself."""
+    def iter_link_violations(self) -> Iterable[tuple]:
+        """Yield ``(node, link, reason)`` for every malformed link entry.
+
+        Checks that every target exists, no node links to itself, and each
+        node's link list is strictly sorted (the binary-search routing step
+        in :mod:`repro.core.routing` relies on sortedness, and duplicates
+        inflate the paper's degree figures).
+        """
         self.require_built()
         for node, targets in self.links.items():
+            if node not in self._id_set:
+                yield (node, None, "link table row for unknown node")
+            for prev, target in zip(targets, targets[1:]):
+                if target <= prev:
+                    yield (
+                        node,
+                        target,
+                        f"link list not strictly sorted ({prev} then {target})",
+                    )
             for target in targets:
                 if target == node:
-                    raise AssertionError(f"node {node} links to itself")
-                if target not in self._id_set:
-                    raise AssertionError(f"node {node} links to unknown {target}")
+                    yield (node, target, "links to itself")
+                elif target not in self._id_set:
+                    yield (node, target, "links to unknown node")
+
+    def check_links_valid(self) -> None:
+        """Raise :class:`LinkTableError` on the first malformed link entry.
+
+        The error names the offending node and link and the reason, so a
+        failure in a 10^5-node build pinpoints the broken table row.
+        """
+        for node, link, reason in self.iter_link_violations():
+            raise LinkTableError(node, link, reason)
 
 
 def edges(network: DHTNetwork) -> Iterable[tuple]:

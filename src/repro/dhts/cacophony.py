@@ -26,6 +26,7 @@ class CacophonyNetwork(DHTNetwork):
     """Static construction of a Cacophony ring over the hierarchy."""
 
     metric = "ring"
+    family = "cacophony"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, rng, use_numpy: bool = True

@@ -206,6 +206,7 @@ class CANNetwork(DHTNetwork):
     """
 
     metric = "xor"
+    family = "can"
 
     def __init__(
         self,

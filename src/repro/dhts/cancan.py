@@ -43,6 +43,8 @@ class CanCanNetwork(CANNetwork):
     :class:`~repro.dhts.can.CANNetwork`; only link construction differs.
     """
 
+    family = "cancan"
+
     def __init__(
         self,
         space: IdSpace,

@@ -70,6 +70,7 @@ class ChordNetwork(DHTNetwork):
     """
 
     metric = "ring"
+    family = "chord"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True

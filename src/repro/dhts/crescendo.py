@@ -50,6 +50,7 @@ class CrescendoNetwork(DHTNetwork):
     """
 
     metric = "ring"
+    family = "crescendo"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True

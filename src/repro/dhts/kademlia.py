@@ -103,6 +103,7 @@ class KademliaNetwork(DHTNetwork):
     """A flat Kademlia network: one (or ``bucket_size``) contacts per bucket."""
 
     metric = "xor"
+    family = "kademlia"
 
     def __init__(
         self,

@@ -35,6 +35,7 @@ class KandyNetwork(DHTNetwork):
     """Static construction of Kandy over the conceptual hierarchy."""
 
     metric = "xor"
+    family = "kandy"
 
     def __init__(
         self,

@@ -27,6 +27,7 @@ class LanCrescendoNetwork(DHTNetwork):
     """
 
     metric = "ring"
+    family = "mixed"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True

@@ -22,6 +22,7 @@ class NaiveHierarchicalChord(DHTNetwork):
     """Full Chord fingers at every level (no Canon merge economy)."""
 
     metric = "ring"
+    family = "naive"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, use_numpy: bool = True

@@ -64,6 +64,7 @@ class NDChordNetwork(DHTNetwork):
     """Flat nondeterministic Chord: one random link per distance octave."""
 
     metric = "ring"
+    family = "ndchord"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, rng, use_numpy: bool = True
@@ -104,6 +105,7 @@ class NDCrescendoNetwork(DHTNetwork):
     """Canonical nondeterministic Chord (nondeterministic Crescendo)."""
 
     metric = "ring"
+    family = "ndcrescendo"
 
     def __init__(
         self, space: IdSpace, hierarchy: Hierarchy, rng, use_numpy: bool = True

@@ -103,6 +103,7 @@ class SymphonyNetwork(DHTNetwork):
     """
 
     metric = "ring"
+    family = "symphony"
 
     def __init__(
         self,

@@ -125,6 +125,12 @@ def main(argv=None) -> int:
         "scalar reference builders)",
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the repro.verify invariant registry on every network "
+        "built by the experiment helpers (fails fast on a violation)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -149,9 +155,15 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     perf_executor.set_default_jobs(args.jobs)
     perf_build.set_build_mode(args.build)
+    if args.verify:
+        from ..verify.invariants import set_auto_verify
+
+        set_auto_verify(True)
     try:
         exit_code = _dispatch(args)
     finally:
+        if args.verify:
+            set_auto_verify(False)
         perf_build.set_build_mode("auto")
         perf_executor.set_default_jobs(1)
         if cache is not None:

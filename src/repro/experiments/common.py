@@ -94,6 +94,19 @@ def seeded_rng(*tokens: object) -> random.Random:
     return random.Random(f"{MASTER_SEED}:{tokens!r}")
 
 
+def _maybe_verify(*networks) -> None:
+    """Run the invariant registry on freshly built networks under --verify.
+
+    Imported lazily so the experiments package stays importable without
+    pulling the verification subsystem into every run.
+    """
+    from ..verify.invariants import auto_verify_enabled, verify_network
+
+    if auto_verify_enabled():
+        for net in networks:
+            verify_network(net)
+
+
 def build_crescendo(
     size: int,
     levels: int,
@@ -132,6 +145,7 @@ def build_crescendo(
                 net = CrescendoNetwork(space, hierarchy)
                 perf_cache.install_network(net, payload)
             rng.setstate(payload["rng_state"])
+            _maybe_verify(net)
             return net
     with PROFILER.phase("build"):
         ids = space.random_ids(size, rng)
@@ -147,6 +161,7 @@ def build_crescendo(
             (node, hierarchy.path_of(node)) for node in hierarchy.members(ROOT)
         ]
         cache.put(key, payload)
+    _maybe_verify(net)
     return net
 
 
@@ -228,6 +243,7 @@ def build_topology_setup(
                         "rng_state": rng.getstate(),
                     },
                 )
+    _maybe_verify(*networks)
     return TopologySetup(
         topology=topology,
         space=space,

@@ -93,6 +93,7 @@ class ProximityChordNetwork(DHTNetwork):
     """
 
     metric = "ring"
+    family = "chord-prox"
 
     def __init__(
         self,
@@ -142,6 +143,8 @@ class ProximityCrescendoNetwork(CrescendoNetwork):
     space*, a link to a physically nearby member of group ``g + 2**k`` —
     plus a dense intra-group graph.
     """
+
+    family = "crescendo-prox"
 
     def __init__(
         self,

@@ -4,12 +4,18 @@ Drives a :class:`~repro.simulation.protocol.SimulatedCrescendo` with
 interleaved joins, graceful leaves, crashes, periodic stabilization and
 application lookups on the virtual clock, and reports delivery rates and
 protocol traffic.
+
+Two drivers share the event vocabulary: :func:`run_churn` shuffles a
+random mix onto the virtual clock, while :func:`run_schedule` replays an
+*explicit* :class:`Event` list deterministically — the substrate of the
+:mod:`repro.verify` fuzzer, whose failing schedules must replay and
+shrink bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.hierarchy import DomainPath
 from .protocol import SimulatedCrescendo
@@ -104,4 +110,107 @@ def run_churn(
     except RuntimeError:
         report.converged_to_oracle = False
     report.final_population = len(net.nodes)
+    return report
+
+
+# ---------------------------------------------------- replayable schedules
+
+
+@dataclass(frozen=True)
+class Event:
+    """One deterministic schedule step.
+
+    Replay never draws randomness: joins carry the concrete node id and
+    leaf domain; leaves, crashes and lookup sources address a node by
+    ``rank`` into the *sorted live id list at execution time*, which stays
+    meaningful when a shrinker deletes earlier events.  ``checkpoint``
+    marks a quiescent point: the network is stabilized to convergence and
+    handed to the caller's callback (the fuzzer runs its invariant
+    registry there).
+    """
+
+    kind: str  # join | leave | crash | lookup | stabilize | checkpoint
+    node: Optional[int] = None  # join: the id to add
+    path: Optional[DomainPath] = None  # join: its leaf domain
+    rank: Optional[int] = None  # leave/crash/lookup: live-list index
+    key: Optional[int] = None  # lookup: the key
+
+    KINDS = ("join", "leave", "crash", "lookup", "stabilize", "checkpoint")
+
+
+@dataclass
+class ScheduleReport:
+    """Execution counts for one :func:`run_schedule` replay."""
+
+    joins: int = 0
+    skipped_joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+    lookups_attempted: int = 0
+    lookups_delivered: int = 0
+    stabilize_rounds: int = 0
+    checkpoints: int = 0
+    unconverged_checkpoints: int = 0
+    final_population: int = 0
+
+
+def run_schedule(
+    net: SimulatedCrescendo,
+    events: Sequence[Event],
+    on_checkpoint: Optional[Callable[[SimulatedCrescendo, int, bool], None]] = None,
+    min_population: int = 3,
+) -> ScheduleReport:
+    """Replay an explicit event list; fully deterministic, no RNG.
+
+    Events that cannot execute are skipped rather than failed — a join of
+    an existing id, or a leave/crash that would push the live population
+    below ``min_population`` — so shrunk sub-schedules always replay.
+    ``on_checkpoint(net, index, converged)`` runs after each checkpoint's
+    stabilization; ``converged`` is False when
+    :meth:`~repro.simulation.protocol.SimulatedCrescendo.stabilize_to_convergence`
+    gave up.
+    """
+    if not net.nodes:
+        raise ValueError("bootstrap the network before replaying a schedule")
+    report = ScheduleReport()
+    for event in events:
+        live = sorted(n for n, node in net.nodes.items() if node.alive)
+        if event.kind == "join":
+            if event.node in net.nodes:
+                report.skipped_joins += 1
+            else:
+                net.join(event.node, event.path)
+                report.joins += 1
+        elif event.kind == "leave":
+            if len(live) > min_population:
+                net.leave(live[event.rank % len(live)])
+                report.leaves += 1
+        elif event.kind == "crash":
+            if len(live) > min_population:
+                net.crash(live[event.rank % len(live)])
+                report.crashes += 1
+        elif event.kind == "lookup":
+            if len(live) >= 2:
+                src = live[event.rank % len(live)]
+                result = net.lookup(src, event.key)
+                report.lookups_attempted += 1
+                report.lookups_delivered += bool(result.success)
+        elif event.kind == "stabilize":
+            net.stabilize()
+            report.stabilize_rounds += 1
+        elif event.kind == "checkpoint":
+            converged = True
+            try:
+                net.stabilize_to_convergence()
+            except RuntimeError:
+                converged = False
+                report.unconverged_checkpoints += 1
+            if on_checkpoint is not None:
+                on_checkpoint(net, report.checkpoints, converged)
+            report.checkpoints += 1
+        else:
+            raise ValueError(f"unknown event kind {event.kind!r}")
+    report.final_population = sum(
+        1 for node in net.nodes.values() if node.alive
+    )
     return report

@@ -1,0 +1,369 @@
+"""Seeded churn fuzzing: generate, replay, verify, shrink.
+
+The fuzzer derives a deterministic join/leave/crash/lookup schedule from a
+seed, replays it through :func:`repro.simulation.churn.run_schedule`, and
+at every quiescent checkpoint (a) checks the live protocol state — ring
+successor correctness and leaf-set symmetry at every level — and (b)
+rebuilds each requested static family over the current live membership
+and runs the invariant registry plus a scalar-vs-batch routing
+differential on it.
+
+Failing schedules shrink toward a minimal counterexample with a greedy
+delta-debugging pass over the event list; the result serializes to JSON
+so counterexamples can be checked in as regression fixtures and replayed
+with ``python -m repro.verify replay``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.hierarchy import DomainPath, Hierarchy
+from ..core.idspace import IdSpace
+from ..simulation.churn import Event, ScheduleReport, run_schedule
+from ..simulation.protocol import SimulatedCrescendo
+from .builders import FAMILIES, PREFIX_FAMILIES, build_family
+from .invariants import run_checks
+from .mutate import corrupt
+from .oracles import compare_routing
+from .violations import Violation
+
+#: Leaf domains of the fuzz hierarchy (two levels, 3 x 2).
+FUZZ_PATHS: Tuple[DomainPath, ...] = tuple(
+    (top, leaf) for top in ("a", "b", "c") for leaf in ("x", "y")
+)
+
+#: Event mix for schedule generation (lookups dominate, like real traffic).
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "join": 0.18,
+    "leave": 0.10,
+    "crash": 0.07,
+    "lookup": 0.60,
+    "stabilize": 0.05,
+}
+
+
+@dataclass
+class FuzzConfig:
+    """Everything one fuzz run derives from (all replay-relevant state)."""
+
+    seed: int = 0
+    events: int = 500
+    families: Sequence[str] = FAMILIES
+    population: int = 64
+    checkpoints: int = 8
+    bits: int = 32
+    mutate_family: Optional[str] = None
+    mutate_kind: str = "drop"
+    routing_pairs: int = 32
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run (plus the shrunk schedule on failure)."""
+
+    config: FuzzConfig
+    schedule: List[Event]
+    replay: ScheduleReport
+    violations: List[Violation] = field(default_factory=list)
+    shrunk: Optional[List[Event]] = None
+    shrink_replays: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+# ------------------------------------------------------ schedule generation
+
+
+def generate_schedule(config: FuzzConfig) -> List[Event]:
+    """Derive a deterministic event list from the seed.
+
+    All randomness is consumed *here*; the resulting events carry concrete
+    ids, keys and live-list ranks, so replaying (or any sub-list of it,
+    during shrinking) never touches an RNG.
+    """
+    rng = random.Random(f"fuzz-schedule:{config.seed}")
+    space = IdSpace(config.bits)
+    kinds = list(DEFAULT_WEIGHTS)
+    weights = [DEFAULT_WEIGHTS[k] for k in kinds]
+    used_ids = set()
+    events: List[Event] = []
+    for _ in range(config.events):
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "join":
+            node = space.random_id(rng)
+            while node in used_ids:
+                node = space.random_id(rng)
+            used_ids.add(node)
+            path = FUZZ_PATHS[rng.randrange(len(FUZZ_PATHS))]
+            events.append(Event("join", node=node, path=path))
+        elif kind in ("leave", "crash"):
+            events.append(Event(kind, rank=rng.randrange(1 << 30)))
+        elif kind == "lookup":
+            events.append(
+                Event(
+                    "lookup",
+                    rank=rng.randrange(1 << 30),
+                    key=space.random_id(rng),
+                )
+            )
+        else:
+            events.append(Event("stabilize"))
+    # Checkpoints at evenly spaced quiescent points, plus one at the end.
+    stride = max(1, len(events) // max(1, config.checkpoints))
+    out: List[Event] = []
+    for i, event in enumerate(events):
+        out.append(event)
+        if (i + 1) % stride == 0:
+            out.append(Event("checkpoint"))
+    if not out or out[-1].kind != "checkpoint":
+        out.append(Event("checkpoint"))
+    return out
+
+
+def bootstrap_network(config: FuzzConfig) -> SimulatedCrescendo:
+    """The seed-derived initial population (fixed across shrinking)."""
+    rng = random.Random(f"fuzz-bootstrap:{config.seed}")
+    space = IdSpace(config.bits)
+    net = SimulatedCrescendo(space)
+    for node_id in space.random_ids(config.population, rng):
+        net.join(node_id, FUZZ_PATHS[rng.randrange(len(FUZZ_PATHS))])
+    net.stabilize_to_convergence()
+    return net
+
+
+# --------------------------------------------------- protocol-state checks
+
+
+def check_protocol_state(net: SimulatedCrescendo) -> List[Violation]:
+    """Ring successor correctness and leaf-set symmetry at every level.
+
+    At a quiescent point each live node's per-ring view must name the next
+    live member of that ring as successor, and that successor must name
+    the node back as predecessor (Zave's mutual leaf-set consistency, per
+    hierarchy level).
+    """
+    out: List[Violation] = []
+    live = {n: node for n, node in net.nodes.items() if node.alive}
+    members_cache: Dict[Tuple[DomainPath, int], List[int]] = {}
+    for node_id, node in live.items():
+        for depth in range(node.leaf_depth + 1):
+            prefix = node.path[:depth]
+            key = (prefix, depth)
+            members = members_cache.get(key)
+            if members is None:
+                members = sorted(
+                    m for m, mn in live.items() if mn.path[:depth] == prefix
+                )
+                members_cache[key] = members
+            if len(members) < 2:
+                continue
+            ring = node.rings[depth]
+            expected = members[(members.index(node_id) + 1) % len(members)]
+            if ring.successor != expected:
+                out.append(
+                    Violation(
+                        check="protocol-successor",
+                        family="protocol",
+                        message=(
+                            f"ring successor is {ring.successor}, "
+                            f"expected {expected}"
+                        ),
+                        node=node_id,
+                        level=depth,
+                        domain=prefix,
+                    )
+                )
+                continue
+            peer_ring = live[expected].rings[depth]
+            if peer_ring.predecessor != node_id:
+                out.append(
+                    Violation(
+                        check="leafset-symmetry",
+                        family="protocol",
+                        message=(
+                            f"successor {expected}'s predecessor is "
+                            f"{peer_ring.predecessor}, not this node"
+                        ),
+                        node=node_id,
+                        link=expected,
+                        level=depth,
+                        domain=prefix,
+                    )
+                )
+    return out
+
+
+# ------------------------------------------------------------ one fuzz run
+
+
+def _checkpoint_verifier(
+    config: FuzzConfig, violations: List[Violation]
+) -> Callable[[SimulatedCrescendo, int, bool], None]:
+    """The callback run at each quiescent point of the schedule."""
+
+    def on_checkpoint(net: SimulatedCrescendo, index: int, converged: bool) -> None:
+        if not converged:
+            violations.append(
+                Violation(
+                    check="convergence",
+                    family="protocol",
+                    message=f"checkpoint {index}: stabilization did not converge",
+                    level=index,
+                )
+            )
+        violations.extend(check_protocol_state(net))
+        live = sorted(n for n, node in net.nodes.items() if node.alive)
+        paths = [net.nodes[n].path for n in live]
+        hierarchy = Hierarchy()
+        for node_id, path in zip(live, paths):
+            hierarchy.place(node_id, path)
+        rng = random.Random(f"fuzz-checkpoint:{config.seed}:{index}")
+        for family in config.families:
+            static = build_family(
+                family,
+                net.space,
+                hierarchy=None if family in PREFIX_FAMILIES else hierarchy,
+                rng=rng,
+                domain_paths=paths,
+            )
+            mutated = family == config.mutate_family
+            if mutated:
+                corrupt(static, rng, config.mutate_kind)
+            violations.extend(run_checks(static))
+            # No routing differential on a deliberately corrupted table:
+            # the batch kernels (rightly) refuse to compile bogus targets.
+            if not mutated and config.routing_pairs and static.size >= 2:
+                ids = static.node_ids
+                pairs = [
+                    (ids[rng.randrange(len(ids))], ids[rng.randrange(len(ids))])
+                    for _ in range(config.routing_pairs)
+                ]
+                violations.extend(compare_routing(static, pairs))
+
+    return on_checkpoint
+
+
+def replay(config: FuzzConfig, schedule: Sequence[Event]) -> FuzzReport:
+    """Replay one schedule from the seed-derived bootstrap and verify."""
+    net = bootstrap_network(config)
+    violations: List[Violation] = []
+    report = run_schedule(
+        net, list(schedule), on_checkpoint=_checkpoint_verifier(config, violations)
+    )
+    return FuzzReport(
+        config=config,
+        schedule=list(schedule),
+        replay=report,
+        violations=violations,
+    )
+
+
+def run_fuzz(config: FuzzConfig, shrink: bool = True) -> FuzzReport:
+    """Generate the seed's schedule, replay it and shrink on failure."""
+    report = replay(config, generate_schedule(config))
+    if report.failed and shrink:
+        shrunk, tries = shrink_schedule(
+            report.schedule, lambda evs: replay(config, evs).failed
+        )
+        report.shrunk = shrunk
+        report.shrink_replays = tries
+    return report
+
+
+# ---------------------------------------------------------------- shrinking
+
+
+def shrink_schedule(
+    events: Sequence[Event],
+    still_failing: Callable[[Sequence[Event]], bool],
+    max_replays: int = 120,
+) -> Tuple[List[Event], int]:
+    """Greedy delta debugging: drop chunks while the failure reproduces.
+
+    Halving chunk sizes down to single events, repeatedly removing any
+    chunk whose absence keeps ``still_failing`` true.  Bounded by
+    ``max_replays`` predicate evaluations so pathological schedules cannot
+    stall a nightly run; the result is 1-minimal when the budget suffices.
+    """
+    current = list(events)
+    replays = 0
+    chunk = max(1, len(current) // 2)
+    while replays < max_replays:
+        index = 0
+        reduced = False
+        while index < len(current) and replays < max_replays:
+            candidate = current[:index] + current[index + chunk :]
+            replays += 1
+            if candidate and still_failing(candidate):
+                current = candidate
+                reduced = True
+            else:
+                index += chunk
+        if chunk == 1:
+            if not reduced:
+                break  # 1-minimal: no single event can be removed
+        else:
+            chunk = max(1, chunk // 2)
+    return current, replays
+
+
+# ------------------------------------------------------------ serialization
+
+
+def schedule_to_json(config: FuzzConfig, events: Sequence[Event]) -> str:
+    """A replayable counterexample document (fixture format)."""
+    return json.dumps(
+        {
+            "seed": config.seed,
+            "population": config.population,
+            "bits": config.bits,
+            "families": list(config.families),
+            "mutate_family": config.mutate_family,
+            "mutate_kind": config.mutate_kind,
+            "routing_pairs": config.routing_pairs,
+            "expect_violations": config.mutate_family is not None,
+            "events": [
+                {
+                    "kind": e.kind,
+                    **({"node": e.node} if e.node is not None else {}),
+                    **({"path": list(e.path)} if e.path is not None else {}),
+                    **({"rank": e.rank} if e.rank is not None else {}),
+                    **({"key": e.key} if e.key is not None else {}),
+                }
+                for e in events
+            ],
+        },
+        indent=2,
+    )
+
+
+def schedule_from_json(text: str) -> Tuple[FuzzConfig, List[Event], bool]:
+    """Parse a fixture; returns (config, events, expect_violations)."""
+    doc = json.loads(text)
+    config = FuzzConfig(
+        seed=doc["seed"],
+        events=len(doc["events"]),
+        families=tuple(doc["families"]),
+        population=doc["population"],
+        bits=doc.get("bits", 32),
+        mutate_family=doc.get("mutate_family"),
+        mutate_kind=doc.get("mutate_kind", "drop"),
+        routing_pairs=doc.get("routing_pairs", 32),
+    )
+    events = [
+        Event(
+            kind=e["kind"],
+            node=e.get("node"),
+            path=tuple(e["path"]) if "path" in e else None,
+            rank=e.get("rank"),
+            key=e.get("key"),
+        )
+        for e in doc["events"]
+    ]
+    return config, events, bool(doc.get("expect_violations"))

@@ -1,0 +1,266 @@
+"""Differential oracles: reference vs. fast-path equivalence as a library.
+
+Two harnesses, both returning structured violations so any test, CLI or
+fuzzer checkpoint can call them:
+
+- :func:`compare_builders` builds the same network twice — scalar
+  reference (``use_numpy=False``) vs. bulk numpy path — and compares the
+  results.  Deterministic families compare link tables exactly;
+  randomized families consume randomness in a different order, so they
+  compare distributionally (mean degree, a two-sample Kolmogorov-Smirnov
+  test on link distances) plus exact equality of every RNG-independent
+  side output (``gap``, ``contact_depth``, ``edge_depth``, degree
+  sequences).  Both builds also pass
+  :meth:`~repro.core.network.DHTNetwork.check_links_valid`.
+
+- :func:`compare_routing` routes identical (source, key) pairs — with an
+  optional alive-set — through the scalar engines of
+  :mod:`repro.core.routing` and the batch kernels of
+  :mod:`repro.perf.kernels`, and requires hop-for-hop agreement.
+
+When a :mod:`repro.obs.metrics` registry is active, ``verify.checks`` and
+``verify.violations`` count oracle runs and findings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..core.network import DHTNetwork, LinkTableError
+from ..core.routing import route
+from ..obs import metrics as obs_metrics
+from ..perf.kernels import batch_route
+from .violations import InvariantViolationError, Violation
+
+#: Tolerance on mean out-degree for distributional builder comparison.
+DEGREE_TOLERANCE = 0.5
+#: Significance level for the KS test on link-distance samples.
+KS_ALPHA = 0.001
+
+
+# ----------------------------------------------------------- KS statistics
+
+
+def ks_distance(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (no scipy required)."""
+    a = sorted(sample_a)
+    b = sorted(sample_b)
+    i = j = 0
+    d = 0.0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            i += 1
+        else:
+            j += 1
+        d = max(d, abs(i / len(a) - j / len(b)))
+    return d
+
+
+def ks_critical(m: int, n: int, alpha: float = KS_ALPHA) -> float:
+    """Large-sample critical value for the two-sample KS statistic."""
+    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c * math.sqrt((m + n) / (m * n))
+
+
+def link_distances(net: DHTNetwork) -> List[int]:
+    """Clockwise distances of every link (the harmonic-draw observable)."""
+    space = net.space
+    return [
+        space.ring_distance(node, link)
+        for node in net.node_ids
+        for link in net.links[node]
+    ]
+
+
+def mean_degree(net: DHTNetwork) -> float:
+    """Average out-degree over the network's nodes."""
+    return sum(len(net.links[n]) for n in net.node_ids) / max(1, net.size)
+
+
+# ------------------------------------------------------- builder equivalence
+
+
+@dataclass
+class BuildComparison:
+    """Both builds plus every disagreement found between them."""
+
+    ref: DHTNetwork
+    bulk: DHTNetwork
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.violations
+
+    def raise_on_violations(self) -> "BuildComparison":
+        """Raise :class:`InvariantViolationError` unless equivalent."""
+        if self.violations:
+            raise InvariantViolationError(self.violations)
+        return self
+
+
+def _count_check(extra_violations: int) -> None:
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        registry.counter("verify.checks").inc()
+        if extra_violations:
+            registry.counter("verify.violations").inc(extra_violations)
+
+
+def _ensure_built(net: DHTNetwork) -> DHTNetwork:
+    if not net._built:
+        net.build()
+    return net
+
+
+def compare_builders(
+    factory: Callable[[bool], DHTNetwork],
+    exact: bool = True,
+    side_attrs: Sequence[str] = (),
+    compare_degrees: bool = False,
+    degree_tolerance: Optional[float] = None,
+    ks_alpha: Optional[float] = None,
+    max_reported: int = 20,
+) -> BuildComparison:
+    """Build via ``factory(use_numpy)`` twice and compare the two tables.
+
+    ``factory`` receives the ``use_numpy`` flag and returns a network (built
+    or not; unbuilt ones are built here).  With ``exact`` the link tables
+    must match node-for-node; otherwise set ``compare_degrees`` (exact
+    degree sequences), ``degree_tolerance`` (mean out-degree tolerance),
+    ``ks_alpha`` (KS test on link distances) and ``side_attrs`` (attribute
+    names that must compare equal, e.g. ``("gap",)``) as appropriate for
+    the family.
+    """
+    ref = _ensure_built(factory(False))
+    bulk = _ensure_built(factory(True))
+    family = getattr(bulk, "family", "network")
+
+    def violation(message: str, **kw) -> Violation:
+        return Violation(check="oracle-build", family=family, message=message, **kw)
+
+    out: List[Violation] = []
+    if ref.built_with != "python":
+        out.append(violation(f"reference build took the {ref.built_with} path"))
+    if bulk.built_with != "numpy":
+        out.append(violation(f"bulk build took the {bulk.built_with} path"))
+    for net, label in ((ref, "reference"), (bulk, "bulk")):
+        try:
+            net.check_links_valid()
+        except LinkTableError as err:
+            out.append(
+                violation(
+                    f"{label} build has an invalid link table: {err.reason}",
+                    node=err.node,
+                    link=err.link,
+                )
+            )
+    if ref.node_ids != bulk.node_ids:
+        out.append(violation("builds disagree on the node population"))
+    elif exact:
+        reported = 0
+        for node in ref.node_ids:
+            if ref.links[node] == bulk.links[node]:
+                continue
+            missing = set(ref.links[node]) - set(bulk.links[node])
+            extra = set(bulk.links[node]) - set(ref.links[node])
+            out.append(
+                violation(
+                    f"link tables differ (bulk missing {sorted(missing)[:4]}, "
+                    f"extra {sorted(extra)[:4]})",
+                    node=node,
+                )
+            )
+            reported += 1
+            if reported >= max_reported:
+                out.append(violation("... further differing nodes suppressed"))
+                break
+    else:
+        if compare_degrees and ref.degrees() != bulk.degrees():
+            out.append(violation("degree sequences differ"))
+        if degree_tolerance is not None:
+            diff = abs(mean_degree(ref) - mean_degree(bulk))
+            if diff >= degree_tolerance:
+                out.append(violation(f"mean degrees differ by {diff:.3f}"))
+        if ks_alpha is not None:
+            da, db = link_distances(ref), link_distances(bulk)
+            stat = ks_distance(da, db)
+            crit = ks_critical(len(da), len(db), ks_alpha)
+            if stat >= crit:
+                out.append(
+                    violation(
+                        f"link-distance KS statistic {stat:.4f} exceeds the "
+                        f"alpha={ks_alpha} critical value {crit:.4f}"
+                    )
+                )
+    for attr in side_attrs:
+        if getattr(ref, attr) != getattr(bulk, attr):
+            out.append(violation(f"rng-independent side output {attr!r} differs"))
+    _count_check(len(out))
+    return BuildComparison(ref=ref, bulk=bulk, violations=out)
+
+
+# ------------------------------------------------------- routing equivalence
+
+
+def compare_routing(
+    network: DHTNetwork,
+    pairs: Sequence[Tuple[int, int]],
+    alive: Optional[Set[int]] = None,
+    max_reported: int = 20,
+) -> List[Violation]:
+    """Scalar engines vs. batch kernels on identical inputs, hop-for-hop.
+
+    Routes every (source, key) pair through
+    :func:`repro.core.routing.route` and through
+    :func:`repro.perf.kernels.batch_route` (same optional alive-set) and
+    reports any disagreement in success flag, terminal node or the exact
+    hop sequence.
+    """
+    family = getattr(network, "family", "network")
+    out: List[Violation] = []
+    batch = batch_route(network, pairs, alive=alive, paths=True)
+    for idx, ((src, key), fast) in enumerate(zip(pairs, batch.routes())):
+        slow = route(network, src, key, alive=alive)
+        if slow.success != fast.success:
+            out.append(
+                Violation(
+                    check="oracle-routing",
+                    family=family,
+                    message=(
+                        f"route {src}->{key}: scalar success={slow.success} "
+                        f"but batch success={fast.success}"
+                    ),
+                    node=src,
+                )
+            )
+        elif slow.path != fast.path:
+            hop = next(
+                (i for i, (a, b) in enumerate(zip(slow.path, fast.path)) if a != b),
+                min(len(slow.path), len(fast.path)),
+            )
+            out.append(
+                Violation(
+                    check="oracle-routing",
+                    family=family,
+                    message=(
+                        f"route {src}->{key} diverges at hop {hop}: scalar "
+                        f"{slow.path[hop:hop + 2]} vs batch {fast.path[hop:hop + 2]}"
+                    ),
+                    node=src,
+                    level=hop,
+                )
+            )
+        if len(out) >= max_reported:
+            out.append(
+                Violation(
+                    check="oracle-routing",
+                    family=family,
+                    message="... further route disagreements suppressed",
+                )
+            )
+            break
+    _count_check(len(out))
+    return out

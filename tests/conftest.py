@@ -18,6 +18,19 @@ from repro import (
 )
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every ``fuzz`` test is implicitly ``slow``.
+
+    The markers themselves are registered in ``pyproject.toml``; the
+    default run deselects ``fuzz`` (see ``addopts``) — run them with
+    ``pytest -m fuzz``.
+    """
+    slow = pytest.mark.slow
+    for item in items:
+        if "fuzz" in item.keywords:
+            item.add_marker(slow)
+
+
 @pytest.fixture
 def space():
     return IdSpace(32)

@@ -1,18 +1,19 @@
 """Bulk builders must be equivalent to the scalar reference constructions.
 
-Deterministic families (naive, LanCrescendo, deterministic Kademlia/Kandy,
-CAN, deterministic Can-Can) must produce *identical* link tables on both
-paths.  Randomized families consume randomness in a different order, so
-their tables are compared distributionally — mean degree, and a two-sample
-Kolmogorov-Smirnov test on the harmonic link-distance samples — while every
-RNG-independent side output (Cacophony/ND-Crescendo ``gap``, Kandy
-``contact_depth``, Can-Can ``edge_depth``, Kademlia/Kandy degree sequences)
-must still match exactly.
+The comparisons themselves live in :mod:`repro.verify.oracles` (so the
+fuzzer and CLI share them); this module pins the per-family comparison
+profile.  Deterministic families (naive, LanCrescendo, deterministic
+Kademlia/Kandy, CAN, deterministic Can-Can) must produce *identical* link
+tables on both paths.  Randomized families consume randomness in a
+different order, so their tables are compared distributionally — mean
+degree, and a two-sample Kolmogorov-Smirnov test on the link-distance
+samples — while every RNG-independent side output (Cacophony/ND-Crescendo
+``gap``, Kandy ``contact_depth``, Can-Can ``edge_depth``, Kademlia/Kandy
+degree sequences) must still match exactly.
 """
 
 from __future__ import annotations
 
-import math
 import random
 import statistics
 
@@ -38,6 +39,7 @@ from repro.perf.build import (
     bulk_enabled,
     set_build_mode,
 )
+from repro.verify.oracles import DEGREE_TOLERANCE, KS_ALPHA, compare_builders
 
 SIZE = 300
 BITS = 32
@@ -60,13 +62,31 @@ def _hierarchy(size, seed=11, levels=3, fanout=4):
     return space, build_uniform_hierarchy(ids, fanout, levels, rng)
 
 
-def _pair(factory):
-    """Build the same network twice: scalar reference vs. bulk path."""
-    ref = factory(False).build()
-    bulk = factory(True).build()
-    assert ref.built_with == "python"
-    assert bulk.built_with == "numpy"
-    return ref, bulk
+def _exact(factory, side_attrs=()):
+    """Oracle profile for deterministic families: identical link tables."""
+    comparison = compare_builders(factory, exact=True, side_attrs=side_attrs)
+    comparison.raise_on_violations()
+    return comparison
+
+
+def _distributional(factory, side_attrs=(), compare_degrees=False, ks=True):
+    """Oracle profile for randomized families: KS + side-output equality.
+
+    ``compare_degrees`` switches to exact degree-sequence equality (the
+    id population fixes degrees for the bucket families); ``ks=False``
+    keeps only the mean-degree tolerance (Can-Can's two build paths grow
+    different prefix trees, so link distances are not comparable).
+    """
+    comparison = compare_builders(
+        factory,
+        exact=False,
+        compare_degrees=compare_degrees,
+        degree_tolerance=None if compare_degrees else DEGREE_TOLERANCE,
+        ks_alpha=KS_ALPHA if ks and not compare_degrees else None,
+        side_attrs=side_attrs,
+    )
+    comparison.raise_on_violations()
+    return comparison
 
 
 # ------------------------------------------------------ deterministic families
@@ -75,38 +95,34 @@ def _pair(factory):
 class TestDeterministicEquality:
     def test_naive(self):
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(lambda un: NaiveHierarchicalChord(space, hierarchy, un))
-        assert ref.links == bulk.links
+        _exact(lambda un: NaiveHierarchicalChord(space, hierarchy, un))
 
     def test_lan_crescendo(self):
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(lambda un: LanCrescendoNetwork(space, hierarchy, un))
-        assert ref.links == bulk.links
-        assert ref.gap == bulk.gap
+        _exact(
+            lambda un: LanCrescendoNetwork(space, hierarchy, un),
+            side_attrs=("gap",),
+        )
 
     def test_kademlia_deterministic(self):
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(
-            lambda un: KademliaNetwork(space, hierarchy, None, 1, use_numpy=un)
-        )
-        assert ref.links == bulk.links
+        _exact(lambda un: KademliaNetwork(space, hierarchy, None, 1, use_numpy=un))
 
     def test_kandy_deterministic(self):
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(
-            lambda un: KandyNetwork(space, hierarchy, None, 1, use_numpy=un)
+        _exact(
+            lambda un: KandyNetwork(space, hierarchy, None, 1, use_numpy=un),
+            side_attrs=("contact_depth",),
         )
-        assert ref.links == bulk.links
-        assert ref.contact_depth == bulk.contact_depth
 
     @pytest.mark.parametrize("policy", ["random", "largest"])
     def test_can(self, policy):
         space = _space()
-        ref = build_can(space, SIZE, random.Random(5), policy, use_numpy=False)
-        bulk = build_can(space, SIZE, random.Random(5), policy, use_numpy=True)
-        assert ref.built_with == "python" and bulk.built_with == "numpy"
-        assert ref.node_ids == bulk.node_ids
-        assert ref.links == bulk.links
+        _exact(
+            lambda un: build_can(
+                space, SIZE, random.Random(5), policy, use_numpy=un
+            )
+        )
 
     def test_cancan_deterministic(self):
         space = _space()
@@ -119,11 +135,12 @@ class TestDeterministicEquality:
             padded = leaf.padded(space.bits)
             prefixes[padded] = leaf
             hierarchy.place(padded, paths[i])
-        ref, bulk = _pair(
-            lambda un: CanCanNetwork(space, hierarchy, prefixes, None, use_numpy=un)
+        _exact(
+            lambda un: CanCanNetwork(
+                space, hierarchy, prefixes, None, use_numpy=un
+            ),
+            side_attrs=("edge_depth",),
         )
-        assert ref.links == bulk.links
-        assert ref.edge_depth == bulk.edge_depth
 
     def test_deterministic_kademlia_wide_bucket_stays_reference(self):
         space, hierarchy = _hierarchy(SIZE)
@@ -138,106 +155,69 @@ class TestDeterministicEquality:
 # --------------------------------------------------------- randomized families
 
 
-def _ks_distance(sample_a, sample_b):
-    """Two-sample Kolmogorov-Smirnov statistic, no scipy required."""
-    a = sorted(sample_a)
-    b = sorted(sample_b)
-    i = j = 0
-    d = 0.0
-    while i < len(a) and j < len(b):
-        if a[i] <= b[j]:
-            i += 1
-        else:
-            j += 1
-        d = max(d, abs(i / len(a) - j / len(b)))
-    return d
-
-
-def _ks_critical(m, n, alpha=0.001):
-    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
-    return c * math.sqrt((m + n) / (m * n))
-
-
-def _link_distances(net):
-    space = net.space
-    return [
-        space.ring_distance(node, link)
-        for node in net.node_ids
-        for link in net.links[node]
-    ]
-
-
-def _mean_degree(net):
-    return sum(len(net.links[n]) for n in net.node_ids) / net.size
-
-
 class TestRandomizedEquivalence:
     def test_symphony_distribution(self):
         space, hierarchy = _hierarchy(512, levels=1)
-        ref, bulk = _pair(
+        _distributional(
             lambda un: SymphonyNetwork(
                 space, hierarchy, random.Random(21), use_numpy=un
             )
         )
-        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
-        da, db = _link_distances(ref), _link_distances(bulk)
-        assert _ks_distance(da, db) < _ks_critical(len(da), len(db))
 
     def test_cacophony_distribution_and_gap(self):
         space, hierarchy = _hierarchy(512)
-        ref, bulk = _pair(
-            lambda un: CacophonyNetwork(space, hierarchy, random.Random(22), un)
+        # The successor structure (gap) is rng-independent: exact equality.
+        _distributional(
+            lambda un: CacophonyNetwork(space, hierarchy, random.Random(22), un),
+            side_attrs=("gap",),
         )
-        assert ref.gap == bulk.gap  # successor structure is rng-independent
-        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
-        da, db = _link_distances(ref), _link_distances(bulk)
-        assert _ks_distance(da, db) < _ks_critical(len(da), len(db))
 
     def test_ndchord_distribution(self):
         space, hierarchy = _hierarchy(512)
-        ref, bulk = _pair(
+        _distributional(
             lambda un: NDChordNetwork(space, hierarchy, random.Random(23), un)
         )
-        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
 
     def test_ndcrescendo_distribution_and_gap(self):
         space, hierarchy = _hierarchy(512)
-        ref, bulk = _pair(
-            lambda un: NDCrescendoNetwork(space, hierarchy, random.Random(24), un)
+        _distributional(
+            lambda un: NDCrescendoNetwork(space, hierarchy, random.Random(24), un),
+            side_attrs=("gap",),
         )
-        assert ref.gap == bulk.gap
-        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
 
     @pytest.mark.parametrize("bucket_size", [1, 3])
     def test_kademlia_random_degree_sequence(self, bucket_size):
         # Degree is the number of occupied (bucket, slot) pairs, which the
         # id population fixes regardless of which contacts the rng picked.
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(
+        _distributional(
             lambda un: KademliaNetwork(
                 space, hierarchy, random.Random(25), bucket_size, use_numpy=un
-            )
+            ),
+            compare_degrees=True,
         )
-        assert ref.degrees() == bulk.degrees()
 
     @pytest.mark.parametrize("bucket_size", [1, 3])
     def test_kandy_random_contact_depth(self, bucket_size):
         space, hierarchy = _hierarchy(SIZE)
-        ref, bulk = _pair(
+        _distributional(
             lambda un: KandyNetwork(
                 space, hierarchy, random.Random(26), bucket_size, use_numpy=un
-            )
+            ),
+            side_attrs=("contact_depth",),
+            compare_degrees=True,
         )
-        assert ref.contact_depth == bulk.contact_depth
-        assert ref.degrees() == bulk.degrees()
 
     def test_cancan_random_edge_depth(self):
         space = _space()
         paths = [("lan%d" % (i % 5),) for i in range(SIZE)]
-        ref = build_cancan(space, SIZE, random.Random(27), paths, use_numpy=False)
-        bulk = build_cancan(space, SIZE, random.Random(27), paths, use_numpy=True)
-        assert ref.edge_depth == bulk.edge_depth
-        assert abs(_mean_degree(ref) - _mean_degree(bulk)) < 0.5
+        _distributional(
+            lambda un: build_cancan(
+                space, SIZE, random.Random(27), paths, use_numpy=un
+            ),
+            side_attrs=("edge_depth",),
+            ks=False,
+        )
 
 
 # --------------------------------------------------------- short-draw counter

@@ -1,0 +1,139 @@
+"""The churn fuzzer: determinism, schedule replay, shrinking.
+
+Cheap structural properties run in the default suite; end-to-end fuzz
+runs are marked ``fuzz`` (deselected by default, exercised nightly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.churn import Event, run_schedule
+from repro.verify.fuzz import (
+    FuzzConfig,
+    bootstrap_network,
+    generate_schedule,
+    replay,
+    run_fuzz,
+    schedule_from_json,
+    schedule_to_json,
+    shrink_schedule,
+)
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        config = FuzzConfig(seed=5, events=100)
+        assert generate_schedule(config) == generate_schedule(config)
+
+    def test_different_seed_different_schedule(self):
+        a = generate_schedule(FuzzConfig(seed=5, events=100))
+        b = generate_schedule(FuzzConfig(seed=6, events=100))
+        assert a != b
+
+    def test_checkpoints_inserted_and_terminal(self):
+        config = FuzzConfig(seed=5, events=100, checkpoints=4)
+        events = generate_schedule(config)
+        checkpoints = [e for e in events if e.kind == "checkpoint"]
+        assert len(checkpoints) >= 4
+        assert events[-1].kind == "checkpoint"
+
+    def test_join_ids_are_unique(self):
+        events = generate_schedule(FuzzConfig(seed=7, events=400))
+        joins = [e.node for e in events if e.kind == "join"]
+        assert len(joins) == len(set(joins))
+
+    def test_roundtrips_through_json(self):
+        config = FuzzConfig(seed=9, events=50, mutate_family="chord")
+        events = generate_schedule(config)
+        parsed_config, parsed_events, expect = schedule_from_json(
+            schedule_to_json(config, events)
+        )
+        assert parsed_events == events
+        assert parsed_config.seed == config.seed
+        assert parsed_config.mutate_family == "chord"
+        assert expect is True
+
+
+class TestRunSchedule:
+    def test_replays_are_deterministic(self):
+        config = FuzzConfig(seed=13, events=150, families=("chord",))
+        schedule = generate_schedule(config)
+        a = replay(config, schedule)
+        b = replay(config, schedule)
+        assert a.replay == b.replay
+        assert a.violations == b.violations
+
+    def test_population_floor_is_respected(self):
+        config = FuzzConfig(seed=14, events=0, population=8)
+        net = bootstrap_network(config)
+        # A schedule of nothing but departures cannot empty the network.
+        events = [Event("leave", rank=i) for i in range(20)]
+        report = run_schedule(net, events, min_population=3)
+        assert report.final_population == 3
+        assert report.leaves == 5
+
+    def test_duplicate_join_is_skipped(self):
+        config = FuzzConfig(seed=15, events=0, population=8)
+        net = bootstrap_network(config)
+        existing = next(iter(net.nodes))
+        path = net.nodes[existing].path
+        report = run_schedule(net, [Event("join", node=existing, path=path)])
+        assert report.joins == 0
+        assert report.skipped_joins == 1
+
+
+class TestShrinking:
+    def test_shrinks_to_single_culprit(self):
+        # A synthetic predicate: the failure needs only event #17.
+        events = [Event("lookup", rank=i, key=i) for i in range(40)]
+        culprit = events[17]
+        shrunk, replays = shrink_schedule(
+            events, lambda evs: culprit in evs
+        )
+        assert shrunk == [culprit]
+        assert replays > 0
+
+    def test_respects_replay_budget(self):
+        events = [Event("lookup", rank=i, key=i) for i in range(64)]
+        needed = set(events[::7])  # scattered multi-event failure
+        shrunk, replays = shrink_schedule(
+            events, lambda evs: needed <= set(evs), max_replays=10
+        )
+        assert replays <= 10
+        assert needed <= set(shrunk)
+
+    def test_shrunk_schedule_still_fails(self):
+        config = FuzzConfig(
+            seed=16,
+            events=60,
+            families=("crescendo",),
+            mutate_family="crescendo",
+            checkpoints=2,
+        )
+        report = run_fuzz(config, shrink=True)
+        assert report.failed
+        assert report.shrunk is not None
+        assert len(report.shrunk) <= len(report.schedule)
+        assert replay(config, report.shrunk).failed
+
+
+@pytest.mark.fuzz
+class TestEndToEnd:
+    def test_clean_fuzz_all_families(self):
+        config = FuzzConfig(seed=7, events=2000)
+        report = run_fuzz(config, shrink=False)
+        assert not report.failed, report.violations[:5]
+        assert report.replay.checkpoints >= 8
+
+    def test_mutation_fuzz_produces_replayable_counterexample(self):
+        config = FuzzConfig(
+            seed=11, events=300, mutate_family="kandy", mutate_kind="drop"
+        )
+        report = run_fuzz(config, shrink=True)
+        assert report.failed
+        assert report.shrunk is not None
+        doc = schedule_to_json(config, report.shrunk)
+        parsed_config, parsed_events, expect = schedule_from_json(doc)
+        assert expect
+        assert replay(parsed_config, parsed_events).failed

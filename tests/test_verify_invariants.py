@@ -1,0 +1,130 @@
+"""The invariant registry: clean builds pass, corrupted tables fail.
+
+Structural checks are exercised both positively (every family, both build
+paths, zero violations) and negatively (every registered mutation kind is
+detected, with structured node/level/domain attribution).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.network import LinkTableError
+from repro.obs import metrics as obs_metrics
+from repro.verify.builders import EXTRA_FAMILIES, FAMILIES, small_network
+from repro.verify.invariants import (
+    auto_verify_enabled,
+    checkers_for,
+    maybe_verify,
+    run_checks,
+    set_auto_verify,
+    verify_network,
+)
+from repro.verify.mutate import KINDS, corrupt, mutation_smoke
+from repro.verify.violations import InvariantViolationError, summarize
+
+ALL_FAMILIES = FAMILIES + EXTRA_FAMILIES
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_clean_build_has_no_violations(family):
+    net = small_network(family, seed=1)
+    assert run_checks(net) == []
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_every_family_has_specific_checkers(family):
+    names = {c.name for c in checkers_for(family)}
+    assert "links-valid" in names
+    # Beyond generic hygiene, each family must have a structural check.
+    assert len(names) > 1, f"{family} only has generic checkers"
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_corruption_is_detected(kind):
+    net = small_network("crescendo", seed=2)
+    assert run_checks(net) == []
+    corrupt(net, random.Random(2), kind)
+    violations = run_checks(net)
+    assert violations, f"{kind} corruption went undetected"
+    worst = violations[0]
+    assert worst.family == "crescendo"
+    assert worst.node in net.links or worst.node is None
+    assert "no violations" not in summarize(violations)
+
+
+def test_verify_network_raises_with_structured_payload():
+    net = small_network("chord", seed=3)
+    verify_network(net)  # clean: no raise
+    corrupt(net, random.Random(3), "drop")
+    with pytest.raises(InvariantViolationError) as err:
+        verify_network(net)
+    assert err.value.violations
+    violation = err.value.violations[0]
+    assert violation.check
+    assert violation.family == "chord"
+
+
+def test_link_table_error_reports_offender():
+    net = small_network("symphony", seed=4)
+    node = net.node_ids[5]
+    net.links[node] = sorted(net.links[node] + [node])  # self-link
+    with pytest.raises(LinkTableError) as err:
+        net.check_links_valid()
+    assert err.value.node == node
+    assert err.value.link == node
+    assert "itself" in err.value.reason
+
+
+def test_unknown_target_reported_with_link():
+    net = small_network("chord", seed=5)
+    node = net.node_ids[0]
+    bogus = net.space.size  # one past the id space: never a member
+    net.links[node] = sorted(net.links[node] + [bogus])
+    offenders = [
+        (n, link) for n, link, _ in net.iter_link_violations()
+    ]
+    assert (node, bogus) in offenders
+
+
+def test_mutation_smoke_covers_all_ten_families():
+    report = mutation_smoke(families=FAMILIES, seed=0, size=80)
+    assert set(report) == set(FAMILIES)
+    for family, kinds in report.items():
+        for kind, checks in kinds.items():
+            assert checks, f"{family}/{kind} detected by no checker"
+
+
+def test_metrics_count_checks_and_violations():
+    net = small_network("kandy", seed=6)
+    with obs_metrics.collecting() as registry:
+        run_checks(net)
+        checks_clean = registry.counter("verify.checks").value
+        assert checks_clean == len(checkers_for("kandy"))
+        assert registry.counter("verify.violations").value == 0
+        corrupt(net, random.Random(6), "drop")
+        run_checks(net)
+        assert registry.counter("verify.violations").value > 0
+
+
+def test_auto_verify_toggle():
+    assert not auto_verify_enabled()
+    net = small_network("chord", seed=7)
+    corrupt(net, random.Random(7), "drop")
+    maybe_verify(net)  # off: no raise even though the table is bad
+    set_auto_verify(True)
+    try:
+        assert auto_verify_enabled()
+        with pytest.raises(InvariantViolationError):
+            maybe_verify(net)
+    finally:
+        set_auto_verify(False)
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_python_build_path_is_also_clean(family):
+    """The scalar reference builders satisfy the same invariants."""
+    net = small_network(family, seed=8, size=60)
+    assert run_checks(net) == []

@@ -1,0 +1,138 @@
+"""Differential oracles: they pass on agreement and flag divergence.
+
+The builder oracle is trusted by ``test_perf_build``; here it is tested
+*as a detector* — injected divergences must surface as violations.  The
+routing oracle gets the property treatment: over seeded grids of
+(family, seed, alive-fraction), batch kernel routes must agree hop-for-hop
+with the scalar failure-aware engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.routing import route
+from repro.verify.builders import FAMILIES, small_network
+from repro.verify.oracles import (
+    BuildComparison,
+    compare_builders,
+    compare_routing,
+    ks_critical,
+    ks_distance,
+)
+
+
+class TestBuilderOracle:
+    def test_equivalent_builds_pass(self):
+        from repro.core.hierarchy import build_uniform_hierarchy
+        from repro.core.idspace import IdSpace
+        from repro.dhts.naive import NaiveHierarchicalChord
+
+        rng = random.Random(31)
+        space = IdSpace(32)
+        ids = space.random_ids(200, rng)
+        hierarchy = build_uniform_hierarchy(ids, 4, 2, rng)
+        comparison = compare_builders(
+            lambda un: NaiveHierarchicalChord(space, hierarchy, un)
+        )
+        assert comparison.equivalent
+        assert comparison.ref.built_with == "python"
+        assert comparison.bulk.built_with == "numpy"
+
+    def test_injected_divergence_is_reported(self):
+        from repro.core.hierarchy import build_uniform_hierarchy
+        from repro.core.idspace import IdSpace
+        from repro.dhts.naive import NaiveHierarchicalChord
+
+        rng = random.Random(32)
+        space = IdSpace(32)
+        ids = space.random_ids(200, rng)
+        hierarchy = build_uniform_hierarchy(ids, 4, 2, rng)
+
+        def factory(use_numpy):
+            net = NaiveHierarchicalChord(space, hierarchy, use_numpy).build()
+            if use_numpy:  # sabotage the bulk build only
+                node = net.node_ids[7]
+                net.links[node] = net.links[node][1:]
+            return net
+
+        comparison = compare_builders(factory)
+        assert not comparison.equivalent
+        assert any("link tables differ" in v.message for v in comparison.violations)
+
+    def test_invalid_table_in_either_build_is_flagged(self):
+        from repro.core.hierarchy import build_uniform_hierarchy
+        from repro.core.idspace import IdSpace
+        from repro.dhts.naive import NaiveHierarchicalChord
+
+        rng = random.Random(33)
+        space = IdSpace(32)
+        ids = space.random_ids(200, rng)
+        hierarchy = build_uniform_hierarchy(ids, 4, 2, rng)
+
+        def factory(use_numpy):
+            net = NaiveHierarchicalChord(space, hierarchy, use_numpy).build()
+            if use_numpy:
+                node = net.node_ids[0]
+                net.links[node] = sorted(net.links[node] + [node])
+            return net
+
+        comparison = compare_builders(factory)
+        assert any(
+            "invalid link table" in v.message for v in comparison.violations
+        )
+
+    def test_ks_helpers(self):
+        rng = random.Random(34)
+        same = [rng.random() for _ in range(500)]
+        other = [rng.random() ** 3 for _ in range(500)]
+        assert ks_distance(same, same) < ks_critical(500, 500)
+        assert ks_distance(same, other) > ks_critical(500, 500)
+
+
+class TestRoutingOracle:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_full_membership_agreement(self, family):
+        net = small_network(family, seed=41)
+        rng = random.Random(f"routing:{family}")
+        ids = net.node_ids
+        pairs = [
+            (ids[rng.randrange(len(ids))], net.space.random_id(rng))
+            for _ in range(40)
+        ]
+        assert compare_routing(net, pairs) == []
+
+    @pytest.mark.parametrize("family", ("chord", "crescendo", "kademlia", "can"))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    @pytest.mark.parametrize("dead_fraction", (0.1, 0.3))
+    def test_alive_filtered_agreement(self, family, seed, dead_fraction):
+        """Property: batch and scalar engines agree under failures too."""
+        net = small_network(family, seed=seed)
+        rng = random.Random(f"alive:{family}:{seed}:{dead_fraction}")
+        ids = list(net.node_ids)
+        dead = set(rng.sample(ids, int(len(ids) * dead_fraction)))
+        alive = set(ids) - dead
+        sources = sorted(alive)
+        pairs = [
+            (sources[rng.randrange(len(sources))], net.space.random_id(rng))
+            for _ in range(30)
+        ]
+        assert compare_routing(net, pairs, alive=alive) == []
+
+    def test_divergence_is_attributed_to_a_hop(self):
+        net = small_network("chord", seed=42)
+        ids = net.node_ids
+        src, key = ids[0], ids[len(ids) // 2]
+        scalar = route(net, src, key)
+        assert scalar.success and len(scalar.path) >= 2
+        assert compare_routing(net, [(src, key)]) == []  # compiles the net
+        # Remove the scalar engine's first hop *after* the batch kernel
+        # memoised its compiled tables: the engines now see different
+        # networks, and the oracle must attribute the divergence to src.
+        first_hop = scalar.path[1]
+        net.links[src] = [t for t in net.links[src] if t != first_hop]
+        violations = compare_routing(net, [(src, key)])
+        assert violations
+        assert violations[0].node == src
