@@ -1,0 +1,194 @@
+"""Record the reference-vs-fast maintenance baseline into ``BENCH_churn.json``.
+
+Replays one seed-derived churn schedule (the fuzzer's event mix: joins,
+leaves, crashes, lookups, stabilization rounds and convergence
+checkpoints) through both maintenance engines —
+:class:`repro.simulation.protocol.SimulatedCrescendo` (reference) and
+:class:`repro.perf.dynamic.FastSimulatedCrescendo` — at each ``--sizes``
+population, and writes wall time plus events/second per engine as JSON.
+
+Methodology: each engine bootstraps the identical membership, stabilizes
+to link convergence and then runs a few extra settle rounds — leaf sets
+keep refining for a couple of rounds past link convergence, and the
+baseline measures steady-state churn from a true protocol fixpoint, not
+the tail of the bootstrap transient.  Both engines replay the exact same
+schedule; equivalence is asserted on the measured runs themselves (same
+lookup outcomes, same per-kind message counts, same final link tables)
+and additionally via :func:`repro.verify.oracles.compare_protocols` on a
+small randomized schedule.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_churn_baseline.py
+
+The checked-in ``BENCH_churn.json`` is the reference point for the
+dynamic-maintenance fast path (see ``docs/performance.md``); CI re-records
+it at small scale on every push as a non-gating artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.idspace import IdSpace  # noqa: E402
+from repro.perf.dynamic import make_protocol  # noqa: E402
+from repro.simulation.churn import run_schedule  # noqa: E402
+from repro.verify.fuzz import (  # noqa: E402
+    DEFAULT_WEIGHTS,
+    FUZZ_PATHS,
+    FuzzConfig,
+    bootstrap_network,
+    generate_schedule,
+)
+from repro.verify.oracles import compare_protocols  # noqa: E402
+
+#: Extra stabilization rounds past link convergence before measuring.
+SETTLE_ROUNDS = 6
+
+
+def build_network(engine, size, seed):
+    """A settled network of ``size`` nodes (identical for both engines)."""
+    rng = random.Random(f"churn-baseline:{seed}")
+    space = IdSpace(32)
+    net = make_protocol(space, engine=engine)
+    for node_id in space.random_ids(size, rng):
+        net.join(node_id, FUZZ_PATHS[rng.randrange(len(FUZZ_PATHS))])
+    net.stabilize_to_convergence()
+    for _ in range(SETTLE_ROUNDS):
+        net.stabilize()
+    return net
+
+
+def bench_size(size, events, checkpoints, seed, repeats):
+    """Timings for one population, plus the cross-engine equivalence check."""
+    config = FuzzConfig(
+        seed=seed, events=events, population=size, checkpoints=checkpoints
+    )
+    schedule = generate_schedule(config)
+    seconds = {}
+    reports = {}
+    finals = {}
+    messages = {}
+    for engine in ("fast", "reference"):
+        best = float("inf")
+        for _ in range(repeats):
+            net = build_network(engine, size, seed)
+            base = dict(net.msgs.stats.counts)
+            start = time.perf_counter()
+            report = run_schedule(net, list(schedule))
+            best = min(best, time.perf_counter() - start)
+            reports[engine] = report
+            finals[engine] = net.static_links()
+            messages[engine] = {
+                kind: count - base.get(kind, 0)
+                for kind, count in net.msgs.stats.counts.items()
+                if count != base.get(kind, 0)
+            }
+        seconds[engine] = best
+    # The measured runs must be observably identical run-for-run.
+    assert dataclasses.asdict(reports["fast"]) == dataclasses.asdict(
+        reports["reference"]
+    ), f"n={size}: schedule reports diverge between engines"
+    assert messages["fast"] == messages["reference"], (
+        f"n={size}: per-kind message counts diverge between engines"
+    )
+    assert finals["fast"] == finals["reference"], (
+        f"n={size}: final link tables diverge between engines"
+    )
+    total = len(schedule)
+    out = {
+        "nodes": size,
+        "events": total,
+        "fast_seconds": seconds["fast"],
+        "reference_seconds": seconds["reference"],
+        "fast_events_per_s": total / seconds["fast"],
+        "reference_events_per_s": total / seconds["reference"],
+        "speedup": seconds["reference"] / seconds["fast"],
+    }
+    print(
+        f"n={size:6d}  {total:4d} events  "
+        f"reference {seconds['reference']:7.2f}s ({out['reference_events_per_s']:7.2f} ev/s)  "
+        f"fast {seconds['fast']:7.2f}s ({out['fast_events_per_s']:7.2f} ev/s)  "
+        f"({out['speedup']:.1f}x)"
+    )
+    return out
+
+
+def validate_equivalence(seed):
+    """A randomized compare_protocols run (beyond the measured workloads)."""
+    config = FuzzConfig(seed=seed, events=80, population=128, checkpoints=4)
+    schedule = generate_schedule(config)
+    comparison = compare_protocols(
+        lambda engine: bootstrap_network(config, engine=engine), schedule
+    )
+    assert comparison.equivalent, comparison.violations[:5]
+    return f"compare_protocols: {len(schedule)} events @ population 128, ok"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_churn.json"),
+        help="output path (default: repo-root BENCH_churn.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1000, 4000, 16000],
+        help="populations to measure (default: 1000 4000 16000)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=150,
+        help="schedule length before checkpoints (default 150)",
+    )
+    parser.add_argument(
+        "--checkpoints", type=int, default=2, help="convergence checkpoints"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="schedule seed")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timed replays per engine (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    equivalence = validate_equivalence(args.seed)
+    print(equivalence)
+    doc = {
+        "workload": {
+            "hierarchy": "3 x 2 fuzz domains",
+            "events": args.events,
+            "checkpoints": args.checkpoints,
+            "mix": DEFAULT_WEIGHTS,
+            "settle_rounds": SETTLE_ROUNDS,
+            "seed": args.seed,
+        },
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": equivalence,
+        "churn": {
+            str(size): bench_size(
+                size, args.events, args.checkpoints, args.seed, args.repeats
+            )
+            for size in args.sizes
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.profile import PROFILER
 from ..perf import build as perf_build
+from ..perf import dynamic as perf_dynamic
 from ..perf import cache as perf_cache
 from ..perf import executor as perf_executor
 from . import EXPERIMENTS
@@ -125,6 +126,14 @@ def main(argv=None) -> int:
         "scalar reference builders)",
     )
     parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto", "fast", "reference"),
+        help="dynamic-maintenance engine for churn simulations: auto "
+        "(array-backed fast engine; default), fast (force it), reference "
+        "(the message-by-message reference implementation)",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="run the repro.verify invariant registry on every network "
@@ -155,6 +164,7 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     perf_executor.set_default_jobs(args.jobs)
     perf_build.set_build_mode(args.build)
+    perf_dynamic.set_engine_mode(args.engine)
     if args.verify:
         from ..verify.invariants import set_auto_verify
 
@@ -165,6 +175,7 @@ def main(argv=None) -> int:
         if args.verify:
             set_auto_verify(False)
         perf_build.set_build_mode("auto")
+        perf_dynamic.set_engine_mode("auto")
         perf_executor.set_default_jobs(1)
         if cache is not None:
             stats = cache.stats()

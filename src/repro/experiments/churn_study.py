@@ -17,8 +17,8 @@ from typing import Dict
 
 from ..core.idspace import IdSpace
 from ..analysis.tables import Table
+from ..perf.dynamic import make_protocol
 from ..simulation.churn import ChurnConfig, run_churn
-from ..simulation.protocol import SimulatedCrescendo
 from .common import get_scale, seeded_rng
 
 PATHS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "x")]
@@ -37,7 +37,7 @@ def measurements(scale: str = "smoke") -> Dict[str, Dict[str, float]]:
     for label, config in INTENSITIES.items():
         rng = seeded_rng("churn", label, size)
         space = IdSpace()
-        net = SimulatedCrescendo(space)
+        net = make_protocol(space)
         for node_id in space.random_ids(size, rng):
             net.join(node_id, PATHS[rng.randrange(len(PATHS))])
         report = run_churn(net, rng, PATHS, config)

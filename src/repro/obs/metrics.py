@@ -24,7 +24,17 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 #: Default histogram upper bounds: powers of two cover hop counts and
 #: latencies across every scale the experiments run at.
@@ -190,6 +200,23 @@ class MetricsRegistry:
 
         def sink(kind: str) -> None:
             self.counter(f"{prefix}.{kind}").inc()
+
+        return sink
+
+    def message_sink_batch(
+        self, prefix: str = "messages"
+    ) -> Callable[[Mapping[str, int]], None]:
+        """A ``{kind: n} -> None`` callable bulk-counting into ``{prefix}.{kind}``.
+
+        The batched counterpart of :meth:`message_sink`: plug into
+        :class:`repro.simulation.events.MessageStats` as ``batch_sink`` so
+        per-kind counts accumulate locally and land here once per flush
+        instead of once per message.
+        """
+
+        def sink(pending: Mapping[str, int]) -> None:
+            for kind, n in pending.items():
+                self.counter(f"{prefix}.{kind}").inc(n)
 
         return sink
 

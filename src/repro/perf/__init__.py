@@ -20,6 +20,14 @@ to the plain implementations they accelerate:
   process-wide :func:`~repro.perf.build.set_build_mode` override); the
   scalar constructions in :mod:`repro.dhts` remain the cross-checked
   reference.
+- :mod:`repro.perf.dynamic` — the fast dynamic-maintenance engine:
+  array-backed membership state (:class:`~repro.perf.dynamic.NodeArena`),
+  batched stabilization with quiescent-ring memoization, and bisect-based
+  ring walks behind the exact protocol semantics of
+  :class:`~repro.simulation.protocol.SimulatedCrescendo`; selected per
+  process via :func:`~repro.perf.dynamic.set_engine_mode` or per instance
+  via :func:`~repro.perf.dynamic.make_protocol`, and held to bit-for-bit
+  equivalence by :func:`repro.verify.oracles.compare_protocols`.
 
 See ``docs/performance.md`` for the layout, invalidation rules and
 benchmark methodology.
@@ -43,6 +51,15 @@ from .cache import (
     install_network,
     network_payload,
 )
+from .dynamic import (
+    ENGINE_MODES,
+    FastSimulatedCrescendo,
+    NodeArena,
+    get_engine_mode,
+    make_protocol,
+    resolve_engine,
+    set_engine_mode,
+)
 from .executor import (
     get_default_jobs,
     map_points,
@@ -62,7 +79,10 @@ __all__ = [
     "BUILDER_VERSION",
     "BatchResult",
     "CompiledNetwork",
+    "ENGINE_MODES",
+    "FastSimulatedCrescendo",
     "NetworkCache",
+    "NodeArena",
     "active_cache",
     "batch_route",
     "batch_route_ring",
@@ -77,10 +97,14 @@ __all__ = [
     "enable",
     "get_build_mode",
     "get_default_jobs",
+    "get_engine_mode",
     "install_network",
+    "make_protocol",
     "map_points",
     "network_payload",
+    "resolve_engine",
     "resolve_jobs",
     "set_build_mode",
     "set_default_jobs",
+    "set_engine_mode",
 ]

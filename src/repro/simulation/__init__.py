@@ -4,7 +4,14 @@ failure injection / fault-isolation measurements."""
 from .async_lookup import AsyncEngine, AsyncResult
 from .churn import ChurnConfig, ChurnReport, run_churn
 from .data import DataItem, DataLayer
-from .events import ConstantLatency, MessageLayer, MessageStats, Simulator
+from .events import (
+    CalendarQueue,
+    ConstantLatency,
+    FastSimulator,
+    MessageLayer,
+    MessageStats,
+    Simulator,
+)
 from .failures import (
     IsolationReport,
     fail_outside_domain,
@@ -18,11 +25,13 @@ from .protocol import ProtocolNode, RingState, SimulatedCrescendo
 __all__ = [
     "AsyncEngine",
     "AsyncResult",
+    "CalendarQueue",
     "ChurnConfig",
     "ChurnReport",
     "ConstantLatency",
     "DataItem",
     "DataLayer",
+    "FastSimulator",
     "IsolationReport",
     "MessageLayer",
     "MessageStats",

@@ -82,7 +82,7 @@ def run_churn(
     events.sort()
 
     for when, _, kind in events:
-        live = [n for n, node in net.nodes.items() if node.alive]
+        live = net.live_view()
         if kind == "join":
             new_id = net.space.random_id(rng)
             while new_id in net.nodes:
@@ -152,6 +152,9 @@ class ScheduleReport:
     checkpoints: int = 0
     unconverged_checkpoints: int = 0
     final_population: int = 0
+    #: Per-lookup (delivered, terminal-node) outcomes in schedule order —
+    #: the observable the engine-equivalence oracle compares verbatim.
+    lookup_outcomes: List[Tuple[bool, int]] = field(default_factory=list)
 
 
 def run_schedule(
@@ -174,7 +177,7 @@ def run_schedule(
         raise ValueError("bootstrap the network before replaying a schedule")
     report = ScheduleReport()
     for event in events:
-        live = sorted(n for n, node in net.nodes.items() if node.alive)
+        live = net.live_view()
         if event.kind == "join":
             if event.node in net.nodes:
                 report.skipped_joins += 1
@@ -195,6 +198,9 @@ def run_schedule(
                 result = net.lookup(src, event.key)
                 report.lookups_attempted += 1
                 report.lookups_delivered += bool(result.success)
+                report.lookup_outcomes.append(
+                    (bool(result.success), result.path[-1])
+                )
         elif event.kind == "stabilize":
             net.stabilize()
             report.stabilize_rounds += 1

@@ -5,28 +5,98 @@ a virtual clock; every inter-node message is delayed by a pluggable latency
 model and counted by type, so tests can verify the paper's O(log n) message
 bound for Crescendo joins and experiments can measure protocol traffic.
 
+Two queue backends share one total order (virtual time, then scheduling
+sequence): the reference :class:`Simulator` keeps a single binary heap,
+while :class:`FastSimulator` swaps in a :class:`CalendarQueue` — slot
+buckets over virtual time, the classic O(1)-amortized discrete-event
+structure — through the same ``_push``/``_peek``/``_pop`` storage methods.
+Both accept two event representations: the classic zero-argument closure
+(:meth:`Simulator.schedule`) and a lightweight ``(kind, args)`` tuple
+(:meth:`Simulator.post`) dispatched through a handler table registered
+with :meth:`Simulator.on`, which avoids allocating a closure per message
+on hot paths.
+
 Observability (:mod:`repro.obs`): a :class:`Simulator` built while a tracer
 is active (or given one explicitly) emits one trace event per drained
 event, carrying the virtual time; a :class:`MessageLayer` built while a
 metrics registry is active mirrors its per-type message counts into
-``messages.<kind>`` counters.  With neither attached, the only overhead is
-one ``is None`` check per event.
+``messages.<kind>`` counters — accumulated locally and flushed per queue
+drain (see :meth:`MessageStats.flush`), not per message.  With neither
+attached, the only overhead is one ``is None`` check per event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import insort
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
+#: A queue entry: ``(virtual time, tie-break sequence, payload)`` where the
+#: payload is either a zero-argument callable or a ``(kind, args)`` tuple.
+QueueItem = Tuple[float, int, object]
+
+
+class CalendarQueue:
+    """Slot/bucket priority queue over virtual time.
+
+    Entries hash into buckets by ``int(when // bucket_width)``; each bucket
+    is a small binary heap and the active bucket slots are kept as a sorted
+    list.  With event delays clustered around the bucket width (message
+    latencies are), push and pop touch O(1) entries instead of the
+    O(log n) sift of one global heap.  The total order — ``(when, seq)``,
+    exactly the reference heap's — is preserved because slots partition
+    virtual time into disjoint, ordered ranges.
+    """
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, List[QueueItem]] = {}
+        self._slots: List[int] = []  # sorted ids of non-empty buckets
+        self._size = 0
+
+    def push(self, item: QueueItem) -> None:
+        """Insert an item into its time bucket."""
+        slot = int(item[0] // self.bucket_width)
+        bucket = self._buckets.get(slot)
+        if bucket is None:
+            self._buckets[slot] = bucket = []
+            insort(self._slots, slot)
+        heapq.heappush(bucket, item)
+        self._size += 1
+
+    def peek(self) -> Optional[QueueItem]:
+        """Earliest item without removing it, or ``None`` if empty."""
+        if not self._size:
+            return None
+        return self._buckets[self._slots[0]][0]
+
+    def pop(self) -> QueueItem:
+        """Remove and return the earliest item."""
+        if not self._size:
+            raise IndexError("pop from an empty CalendarQueue")
+        slot = self._slots[0]
+        bucket = self._buckets[slot]
+        item = heapq.heappop(bucket)
+        if not bucket:
+            del self._buckets[slot]
+            self._slots.pop(0)
+        self._size -= 1
+        return item
+
+    def __len__(self) -> int:
+        return self._size
+
 
 class Simulator:
-    """Event queue + virtual clock.
+    """Event queue + virtual clock (reference heap backend).
 
     ``tracer`` defaults to the process-wide active tracer (if any) at
     construction time; pass ``tracer=None`` explicitly *after* activating a
@@ -38,14 +108,57 @@ class Simulator:
         self.now = 0.0
         self._queue: list = []
         self._seq = itertools.count()
+        self._handlers: Dict[str, Callable[..., None]] = {}
+        self._drain_hooks: List[Callable[[], None]] = []
         self.events_run = 0
         self.tracer = tracer if tracer is not None else obs_trace.active_tracer()
+
+    # ------------------------------------------------------ queue storage
+    # Subclasses swap the backing structure by overriding these three
+    # methods (plus ``pending``); ``run`` only goes through them.
+
+    def _push(self, item: QueueItem) -> None:
+        heapq.heappush(self._queue, item)
+
+    def _peek(self) -> Optional[QueueItem]:
+        return self._queue[0] if self._queue else None
+
+    def _pop(self) -> QueueItem:
+        return heapq.heappop(self._queue)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------- scheduling
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action`` ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), action))
+        self._push((self.now + delay, next(self._seq), action))
+
+    def on(self, kind: str, handler: Callable[..., None]) -> None:
+        """Register the handler dispatched for :meth:`post` events of ``kind``."""
+        self._handlers[kind] = handler
+
+    def post(self, delay: float, kind: str, *args) -> None:
+        """Schedule a lightweight ``(kind, args)`` event ``delay`` from now.
+
+        Equivalent to ``schedule(delay, lambda: handler(*args))`` but
+        without allocating a closure per event; the handler registered via
+        :meth:`on` is resolved at execution time.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._push((self.now + delay, next(self._seq), (kind, args)))
+
+    def add_drain_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` at the end of every :meth:`run` call.
+
+        The flush point for batched accounting (see
+        :meth:`MessageStats.flush`)."""
+        self._drain_hooks.append(hook)
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Drain the queue (optionally up to virtual time ``until``).
@@ -56,33 +169,79 @@ class Simulator:
         """
         executed = 0
         tracer = self.tracer
-        while self._queue:
-            when, _, action = self._queue[0]
+        while True:
+            head = self._peek()
+            if head is None:
+                break
+            when = head[0]
             if until is not None and when > until:
                 break
             if executed >= max_events:
                 self.events_run += executed
+                self._flush_drain_hooks()
                 raise RuntimeError(
                     f"event budget exhausted: {executed} events run, virtual "
-                    f"time {self.now:g} reached, {len(self._queue)} still "
+                    f"time {self.now:g} reached, {self.pending} still "
                     f"queued: runaway protocol?"
                 )
-            heapq.heappop(self._queue)
+            _, _, payload = self._pop()
             self.now = when
-            action()
+            if callable(payload):
+                payload()
+                label = payload if tracer is not None else None
+            else:
+                kind, args = payload
+                self._handlers[kind](*args)
+                label = kind
             executed += 1
             if tracer is not None:
                 tracer.event(
                     "sim.event",
                     t=when,
-                    action=getattr(action, "__qualname__", repr(action)),
+                    action=(
+                        label
+                        if isinstance(label, str)
+                        else getattr(label, "__qualname__", repr(label))
+                    ),
                 )
         self.events_run += executed
+        self._flush_drain_hooks()
         return executed
+
+    def _flush_drain_hooks(self) -> None:
+        for hook in self._drain_hooks:
+            hook()
+
+
+class FastSimulator(Simulator):
+    """:class:`Simulator` with a :class:`CalendarQueue` backend.
+
+    Behaviorally identical — same total event order, same API — but pop
+    cost no longer grows with the global queue size.  ``bucket_width``
+    should sit near the dominant message latency (default 1.0 matches
+    :class:`ConstantLatency`).
+    """
+
+    def __init__(
+        self,
+        tracer: Optional["obs_trace.Tracer"] = None,
+        bucket_width: float = 1.0,
+    ) -> None:
+        super().__init__(tracer)
+        self._calendar = CalendarQueue(bucket_width)
+
+    def _push(self, item: QueueItem) -> None:
+        self._calendar.push(item)
+
+    def _peek(self) -> Optional[QueueItem]:
+        return self._calendar.peek()
+
+    def _pop(self) -> QueueItem:
+        return self._calendar.pop()
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._calendar)
 
 
 class ConstantLatency:
@@ -99,27 +258,61 @@ class ConstantLatency:
 class MessageStats:
     """Per-type message counters, resettable between measurement windows.
 
-    ``sink``, when set, is called with each recorded message kind — the
-    pluggable hook that mirrors counts into an
-    :class:`repro.obs.metrics.MetricsRegistry`
-    (see :meth:`~repro.obs.metrics.MetricsRegistry.message_sink`).
+    Two mirroring hooks feed an external consumer such as a
+    :class:`repro.obs.metrics.MetricsRegistry`:
+
+    - ``sink`` is called with each recorded kind, per message (the
+      original immediate hook, see
+      :meth:`~repro.obs.metrics.MetricsRegistry.message_sink`);
+    - ``batch_sink`` receives a ``{kind: count}`` mapping on each
+      :meth:`flush` — counts accumulate locally in ``pending`` between
+      flushes, so the hot recording path is one Counter increment (see
+      :meth:`~repro.obs.metrics.MetricsRegistry.message_sink_batch`).
+
+    When both are set, ``sink`` wins (no double counting).
     """
 
     counts: Counter = field(default_factory=Counter)
     sink: Optional[Callable[[str], None]] = None
+    batch_sink: Optional[Callable[[Mapping[str, int]], None]] = None
+    pending: Counter = field(default_factory=Counter)
 
     def record(self, kind: str) -> None:
         """Count one message of the given type."""
         self.counts[kind] += 1
         if self.sink is not None:
             self.sink(kind)
+        elif self.batch_sink is not None:
+            self.pending[kind] += 1
+
+    def record_many(self, kind: str, n: int) -> None:
+        """Count ``n`` messages of one type (one increment, same mirroring)."""
+        if n <= 0:
+            return
+        self.counts[kind] += n
+        if self.sink is not None:
+            for _ in range(n):
+                self.sink(kind)
+        elif self.batch_sink is not None:
+            self.pending[kind] += n
 
     @property
     def total(self) -> int:
         return sum(self.counts.values())
 
+    def flush(self) -> None:
+        """Push counts accumulated since the last flush to ``batch_sink``."""
+        if self.batch_sink is not None and self.pending:
+            self.batch_sink(self.pending)
+            self.pending.clear()
+
     def reset(self) -> Counter:
-        """Zero the counters, returning the pre-reset snapshot."""
+        """Zero the counters, returning the pre-reset snapshot.
+
+        Pending batched counts are flushed first so no mirrored count is
+        lost across a measurement-window boundary.
+        """
+        self.flush()
         snapshot = Counter(self.counts)
         self.counts.clear()
         return snapshot
@@ -129,8 +322,11 @@ class MessageLayer:
     """Delivers node-to-node messages through the simulator with latency.
 
     ``metrics`` defaults to the process-wide active registry (if any) at
-    construction time; when present, every sent message also increments the
-    registry's ``messages.<kind>`` counter.
+    construction time; when present, per-kind message counts are mirrored
+    into the registry's ``messages.<kind>`` counters — accumulated locally
+    and flushed when the simulator drains its queue (a drain hook is
+    registered here) or when :meth:`MessageStats.flush`/``reset`` runs,
+    not on every message.
     """
 
     def __init__(
@@ -143,8 +339,12 @@ class MessageLayer:
         self.latency = latency_model
         registry = metrics if metrics is not None else obs_metrics.active_registry()
         self.stats = MessageStats(
-            sink=registry.message_sink() if registry is not None else None
+            batch_sink=(
+                registry.message_sink_batch() if registry is not None else None
+            )
         )
+        if registry is not None:
+            sim.add_drain_hook(self.stats.flush)
 
     def send(self, src: int, dst: int, kind: str, action: Callable[[], None]) -> None:
         """Send one message; ``action`` runs at the destination on arrival."""

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.hierarchy import DomainPath, Hierarchy
 from ..core.idspace import IdSpace, predecessor_index
-from ..core.routing import MAX_HOPS, Route
+from ..core.routing import MAX_HOPS, LiveSet, Route
 from .events import ConstantLatency, MessageLayer, Simulator
 
 DEFAULT_LEAF_SET = 4
@@ -81,7 +81,21 @@ class ProtocolNode:
 
 
 class SimulatedCrescendo:
-    """A Crescendo network maintained dynamically through protocol messages."""
+    """A Crescendo network maintained dynamically through protocol messages.
+
+    Subclass hooks: the fast engine
+    (:class:`repro.perf.dynamic.FastSimulatedCrescendo`) keeps auxiliary
+    sorted-array state in sync by overriding the no-op notification points
+    below — :meth:`_membership_added` / :meth:`_membership_crashed` /
+    :meth:`_membership_removed` fire on every membership change, and
+    :meth:`_touch` fires after every mutation of a node's contact-bearing
+    ring state (fingers or leaf sets).  The protocol logic itself never
+    branches on the engine.
+    """
+
+    #: Which maintenance engine this class implements (see
+    #: :mod:`repro.perf.dynamic` for the ``fast`` counterpart).
+    engine = "reference"
 
     def __init__(
         self,
@@ -99,6 +113,68 @@ class SimulatedCrescendo:
         #: observers implementing any of node_joined / node_leaving /
         #: node_crashed / stabilized (see repro.simulation.data.DataLayer).
         self.listeners: List = []
+        #: cached sorted live-id view (invalidated on membership changes).
+        self._live_cache: Optional[List[int]] = None
+
+    # ----------------------------------------------------- subclass hooks
+
+    def _membership_added(self, node: ProtocolNode) -> None:
+        """A node joined (called after ``nodes``/``hierarchy`` updates)."""
+        self._live_cache = None
+
+    def _membership_crashed(self, node: ProtocolNode) -> None:
+        """A node crashed silently (``alive`` already flipped)."""
+        self._live_cache = None
+
+    def _membership_removed(self, node_id: int, path: DomainPath) -> None:
+        """A node was forgotten (called after ``nodes``/``hierarchy`` updates)."""
+        self._live_cache = None
+
+    def _touch(self, node_id: int) -> None:
+        """A node's ring state changed (cache-invalidation point).
+
+        Fired after every mutation of a node's fingers, leaf sets or
+        predecessor pointer, so a subclass tracking read-dependencies sees
+        every write that could change another node's maintenance outcome.
+        """
+
+    def _observe_live(self, node_id: Optional[int]) -> bool:
+        """Is ``node_id`` a live node?
+
+        All aliveness reads inside the maintenance path go through this
+        hook so a subclass can record which nodes an execution depended
+        on (the fast engine's memoization needs the exact read set).
+        """
+        if node_id is None:
+            return False
+        peer = self.nodes.get(node_id)
+        return peer is not None and peer.alive
+
+    # ------------------------------------------------------------ live views
+
+    def live_view(self) -> Sequence[int]:
+        """Sorted ids of the live nodes — cached, invalidated on membership
+        changes, so repeated oracle/convergence checks between churn events
+        never re-sort the full membership.  Read-only: the returned sequence
+        is only valid until the next join/leave/crash/purge.
+        """
+        if self._live_cache is None:
+            self._live_cache = sorted(
+                n for n, node in self.nodes.items() if node.alive
+            )
+        return self._live_cache
+
+    def live_set(self) -> LiveSet:
+        """The live membership as a :class:`~repro.core.routing.LiveSet`.
+
+        The set is built from the cached sorted view, and its own
+        ``sorted_ids`` cache is pre-seeded — handing it to the routing
+        engines or failure studies costs no extra sort.
+        """
+        view = self.live_view()
+        out = LiveSet(view)
+        object.__setattr__(out, "_sorted", list(view))
+        return out
 
     # --------------------------------------------------------------- helpers
 
@@ -114,8 +190,7 @@ class SimulatedCrescendo:
         return cleaned[: self.leaf_set_size]
 
     def _count(self, kind: str, hops: int = 1) -> None:
-        for _ in range(hops):
-            self.msgs.stats.record(kind)
+        self.msgs.stats.record_many(kind, hops)
 
     def _in_ring(self, node: ProtocolNode, prefix: DomainPath) -> bool:
         return node.path[: len(prefix)] == prefix
@@ -132,6 +207,39 @@ class SimulatedCrescendo:
         if lower is None or lower == node.node_id:
             return self.space.size
         return self.space.ring_distance(node.node_id, lower)
+
+    # ---------------------------------------------------- membership queries
+
+    def _ring_has_live_peer(self, prefix: DomainPath, exclude: int) -> bool:
+        """Whether the ring at ``prefix`` holds a live node besides ``exclude``."""
+        return any(
+            n != exclude and self.nodes[n].alive
+            for n in self.hierarchy.members(prefix)
+        )
+
+    def _first_live_member(
+        self, prefix: DomainPath, exclude: Optional[int] = None
+    ) -> Optional[int]:
+        """First live member of ``prefix`` in insertion order, or ``None``.
+
+        Insertion order matters: this models the per-domain bootstrap
+        directory, whose answer must not depend on the engine in use.
+        """
+        for n in self.hierarchy.members(prefix):
+            if n != exclude and self.nodes[n].alive:
+                return n
+        return None
+
+    def _nearest_live_peer(self, prefix: DomainPath, node_id: int) -> int:
+        """The live ring member (other than ``node_id``) closest clockwise."""
+        return min(
+            (
+                n
+                for n in self.hierarchy.members(prefix)
+                if n != node_id and self.nodes[n].alive
+            ),
+            key=lambda m: self.space.ring_distance(node_id, m),
+        )
 
     # ------------------------------------------------------------ navigation
 
@@ -207,6 +315,7 @@ class SimulatedCrescendo:
         node = ProtocolNode(self.space.validate(node_id), path)
         self.nodes[node_id] = node
         self.hierarchy.place(node_id, path)
+        self._membership_added(node)
         return node
 
     def pick_bootstrap(self, path: DomainPath) -> int:
@@ -216,13 +325,9 @@ class SimulatedCrescendo:
         DNS server, or the DHT itself).
         """
         for depth in range(len(path), -1, -1):
-            members = [
-                n
-                for n in self.hierarchy.members(path[:depth])
-                if self.nodes[n].alive
-            ]
-            if members:
-                return members[0]
+            member = self._first_live_member(path[:depth])
+            if member is not None:
+                return member
         raise RuntimeError("no live node to bootstrap from")
 
     def join(
@@ -241,17 +346,15 @@ class SimulatedCrescendo:
         node = ProtocolNode(self.space.validate(node_id), path)
         self.nodes[node_id] = node
         self.hierarchy.place(node_id, path)
+        self._membership_added(node)
 
         # Insert bottom-up: predecessor lookup, splice, fingers, per level.
         contact = bootstrap
         for depth in range(node.leaf_depth, -1, -1):
             prefix = path[:depth]
-            members_exist = any(
-                self.nodes[n].alive and n != node_id
-                for n in self.hierarchy.members(prefix)
-            )
-            if not members_exist:
+            if not self._ring_has_live_peer(prefix, node_id):
                 node.rings[depth] = RingState(None, [], set())
+                self._touch(node_id)
                 continue
             if not self._in_ring(self.nodes[contact], prefix):
                 contact = self.pick_bootstrap(prefix)
@@ -264,6 +367,7 @@ class SimulatedCrescendo:
         for listener in self.listeners:
             if hasattr(listener, "node_joined"):
                 listener.node_joined(node_id)
+        self.msgs.stats.flush()
         return self.msgs.stats.total - before
 
     def _splice_in(self, node: ProtocolNode, depth: int, pred_id: int) -> None:
@@ -278,7 +382,25 @@ class SimulatedCrescendo:
             pred_id, [node.node_id] + ring.successors
         )
         self.nodes[succ_id].rings[depth].predecessor = node.node_id
+        self._touch(node.node_id)
+        self._touch(pred_id)
+        self._touch(succ_id)
         self._count("notify", 2)  # inform predecessor and successor
+
+    def _finger_hints(
+        self, node: ProtocolNode, pred_id: int, depth: int
+    ) -> List[int]:
+        """Sorted walk-start hints for :meth:`_build_fingers`: the
+        predecessor plus its ring contacts, minus the joining node."""
+        pred = self.nodes[pred_id]
+        return sorted(
+            {pred_id}
+            | {
+                contact
+                for contact in self._ring_contacts(pred, depth)
+                if contact != node.node_id
+            }
+        )
 
     def _build_fingers(
         self, node: ProtocolNode, depth: int, pred_id: int, kind: str
@@ -297,15 +419,7 @@ class SimulatedCrescendo:
         # step or two of ours: start every search from the best hint instead
         # of walking from scratch (this is what keeps joins at O(log n)
         # messages).
-        pred = self.nodes[pred_id]
-        hints = sorted(
-            {pred_id}
-            | {
-                contact
-                for contact in self._ring_contacts(pred, depth)
-                if contact != node.node_id
-            }
-        )
+        hints = self._finger_hints(node, pred_id, depth)
         last_succ: Optional[int] = None
         for k in range(self.space.bits):
             step = 1 << k
@@ -333,7 +447,9 @@ class SimulatedCrescendo:
                 last_succ = succ
                 if succ not in hints:
                     bisect.insort(hints, succ)
-        node.rings[depth].fingers = fingers
+        if fingers != node.rings[depth].fingers:
+            node.rings[depth].fingers = fingers
+            self._touch(node.node_id)
 
     # ------------------------------------------------------------ departures
 
@@ -357,29 +473,46 @@ class SimulatedCrescendo:
                 pred_ring.successors = [
                     s for s in pred_ring.successors if s != node_id
                 ][: self.leaf_set_size]
+                self._touch(pred_id)
                 self._count("leave_notify")
             if succ_id is not None and succ_id in self.nodes and succ_id != node_id:
                 self.nodes[succ_id].rings[depth].predecessor = pred_id
+                self._touch(succ_id)
                 self._count("leave_notify")
         self._forget(node_id)
+        self.msgs.stats.flush()
         return self.msgs.stats.total - before
 
     def crash(self, node_id: int) -> None:
         """Silent failure: no notifications; repair happens via leaf sets."""
-        self.nodes[node_id].alive = False
+        node = self.nodes[node_id]
+        node.alive = False
+        self._membership_crashed(node)
         for listener in self.listeners:
             if hasattr(listener, "node_crashed"):
                 listener.node_crashed(node_id)
 
     def _forget(self, node_id: int) -> None:
+        path = self.nodes[node_id].path
         del self.nodes[node_id]
         self.hierarchy.remove(node_id)
+        self._membership_removed(node_id, path)
+        self._touch(node_id)
         for other in self.nodes.values():
+            changed = False
             for ring in other.rings.values():
-                ring.fingers.discard(node_id)
-                ring.successors = [s for s in ring.successors if s != node_id]
+                if node_id in ring.fingers:
+                    ring.fingers.discard(node_id)
+                    changed = True
+                if node_id in ring.successors:
+                    # Leaf sets are deduplicated, so one removal suffices.
+                    ring.successors.remove(node_id)
+                    changed = True
                 if ring.predecessor == node_id:
                     ring.predecessor = None
+                    changed = True
+            if changed:
+                self._touch(other.node_id)
 
     # ---------------------------------------------------------- maintenance
 
@@ -403,6 +536,7 @@ class SimulatedCrescendo:
         for listener in self.listeners:
             if hasattr(listener, "stabilized"):
                 listener.stabilized()
+        self.msgs.stats.flush()
         return self.msgs.stats.total - before
 
     def _stabilize_ring(self, node: ProtocolNode, depth: int) -> None:
@@ -410,18 +544,16 @@ class SimulatedCrescendo:
         ring = node.rings[depth]
         live_succ = None
         for cand in ring.successors:
-            peer = self.nodes.get(cand)
             self._count("ping")
-            if peer is not None and peer.alive:
+            if self._observe_live(cand):
                 live_succ = cand
                 break
-        members = [
-            n
-            for n in self.hierarchy.members(prefix)
-            if n != node.node_id and self.nodes[n].alive
-        ]
-        if not members:
-            node.rings[depth] = RingState(None, [], set())
+        if not self._ring_has_live_peer(prefix, node.node_id):
+            # Reset only if there is state to reset: a ring that is already
+            # empty stays untouched, so quiescent rounds perform no writes.
+            if ring.predecessor is not None or ring.successors or ring.fingers:
+                node.rings[depth] = RingState(None, [], set())
+                self._touch(node.node_id)
             return
         if live_succ is None:
             # Leaf set exhausted (catastrophic local failure): locate our
@@ -430,7 +562,7 @@ class SimulatedCrescendo:
             probe = self._find_predecessor(
                 prefix,
                 self.space.add(node.node_id, 1),
-                members[0],
+                self._first_live_member(prefix, exclude=node.node_id),
                 "repair_lookup",
                 exclude=node.node_id,
             )
@@ -443,10 +575,7 @@ class SimulatedCrescendo:
             if live_succ is None:
                 # Last resort: consult the bootstrap directory (the same
                 # per-domain membership service new joiners use).
-                live_succ = min(
-                    (m for m in members),
-                    key=lambda m: self.space.ring_distance(node.node_id, m),
-                )
+                live_succ = self._nearest_live_peer(prefix, node.node_id)
             self._count("repair_lookup")
         # Chord's stabilize step: if our successor's predecessor lies between
         # us and it, that node is our true successor — adopt it.
@@ -455,8 +584,7 @@ class SimulatedCrescendo:
         if (
             between is not None
             and between != node.node_id
-            and between in self.nodes
-            and self.nodes[between].alive
+            and self._observe_live(between)
             and self.space.ring_distance(node.node_id, between)
             < self.space.ring_distance(node.node_id, live_succ)
         ):
@@ -469,7 +597,7 @@ class SimulatedCrescendo:
         # true predecessor of our successor position and compare heads.
         # For a correctly placed node this is 0 hops.
         start = ring.predecessor
-        if start is None or start not in self.nodes or not self.nodes[start].alive:
+        if not self._observe_live(start):
             start = live_succ
         probe = self._find_predecessor(
             prefix,
@@ -483,9 +611,7 @@ class SimulatedCrescendo:
             (
                 cand
                 for cand in probe_ring.successors
-                if cand != node.node_id
-                and cand in self.nodes
-                and self.nodes[cand].alive
+                if cand != node.node_id and self._observe_live(cand)
             ),
             None,
         )
@@ -498,23 +624,30 @@ class SimulatedCrescendo:
         if probe != node.node_id:
             # Offer ourselves to the probe's leaf set: if we really are its
             # immediate successor, the distance ordering puts us at its head
-            # and the ring heals from the predecessor side too.
-            probe_ring.successors = self._ordered_leafset(
+            # and the ring heals from the predecessor side too.  Skip the
+            # (identical) assignment when the offer changes nothing, so a
+            # converged ring sees no writes.
+            offered = self._ordered_leafset(
                 probe, [node.node_id] + probe_ring.successors
             )
-        ring.successors = self._ordered_leafset(
+            if offered != probe_ring.successors:
+                probe_ring.successors = offered
+                self._touch(probe)
+        repaired = self._ordered_leafset(
             node.node_id, [live_succ] + succ_ring.successors
         )
+        if repaired != ring.successors:
+            ring.successors = repaired
+            self._touch(node.node_id)
         if succ_ring.predecessor != node.node_id:
             pred_cand = succ_ring.predecessor
             if (
-                pred_cand is None
-                or pred_cand not in self.nodes
-                or not self.nodes[pred_cand].alive
+                not self._observe_live(pred_cand)
                 or self.space.ring_distance(pred_cand, live_succ)
                 > self.space.ring_distance(node.node_id, live_succ)
             ):
                 succ_ring.predecessor = node.node_id
+                self._touch(live_succ)
                 self._count("notify")
         self._build_fingers(
             node, depth, ring.predecessor or live_succ, "refresh_finger"
@@ -539,28 +672,33 @@ class SimulatedCrescendo:
         """Greedy clockwise lookup with leaf-set fallback around failures."""
         cur = self.nodes[src]
         path = [src]
-        for _ in range(MAX_HOPS):
-            remaining = self.space.ring_distance(cur.node_id, key)
-            if remaining == 0:
-                return Route(path, True, key)
-            best: Optional[int] = None
-            best_dist = 0
-            for contact in cur.routing_contacts():
-                peer = self.nodes.get(contact)
-                if peer is None or not peer.alive:
-                    continue
-                dist = self.space.ring_distance(cur.node_id, contact)
-                if 0 < dist <= remaining and dist > best_dist:
-                    best, best_dist = contact, dist
-            if best is None:
-                return Route(path, self._responsible_live(cur.node_id, key), key)
-            self._count("lookup")
-            path.append(best)
-            cur = self.nodes[best]
-        raise RuntimeError("lookup exceeded hop bound")
+        try:
+            for _ in range(MAX_HOPS):
+                remaining = self.space.ring_distance(cur.node_id, key)
+                if remaining == 0:
+                    return Route(path, True, key)
+                best: Optional[int] = None
+                best_dist = 0
+                for contact in cur.routing_contacts():
+                    peer = self.nodes.get(contact)
+                    if peer is None or not peer.alive:
+                        continue
+                    dist = self.space.ring_distance(cur.node_id, contact)
+                    if 0 < dist <= remaining and dist > best_dist:
+                        best, best_dist = contact, dist
+                if best is None:
+                    return Route(
+                        path, self._responsible_live(cur.node_id, key), key
+                    )
+                self._count("lookup")
+                path.append(best)
+                cur = self.nodes[best]
+            raise RuntimeError("lookup exceeded hop bound")
+        finally:
+            self.msgs.stats.flush()
 
     def _responsible_live(self, node_id: int, key: int) -> bool:
-        live = sorted(n for n, node in self.nodes.items() if node.alive)
+        live = self.live_view()
         if not live:
             return False
         return live[predecessor_index(live, key)] == node_id
@@ -580,9 +718,8 @@ class SimulatedCrescendo:
         from ..dhts.crescendo import CrescendoNetwork
 
         hierarchy = Hierarchy()
-        for node_id, node in self.nodes.items():
-            if node.alive:
-                hierarchy.place(node_id, node.path)
+        for node_id in self.live_view():
+            hierarchy.place(node_id, self.nodes[node_id].path)
         oracle = CrescendoNetwork(self.space, hierarchy, use_numpy=False).build()
         return {n: list(links) for n, links in oracle.links.items()}
 

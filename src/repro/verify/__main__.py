@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 
 from ..obs import metrics as obs_metrics
+from ..perf.dynamic import ENGINE_MODES
 from .builders import EXTRA_FAMILIES, FAMILIES, small_network
 from .fuzz import FuzzConfig, generate_schedule, replay, run_fuzz, schedule_from_json, schedule_to_json
 from .invariants import checkers_for, run_checks
@@ -80,9 +81,22 @@ def main(argv=None) -> int:
     fuzz.add_argument(
         "--metrics", metavar="OUT.json", help="write a metrics snapshot JSON"
     )
+    fuzz.add_argument(
+        "--engine",
+        choices=ENGINE_MODES,
+        default="auto",
+        help="maintenance engine for the replayed network (default: auto); "
+        "any failing schedule must reproduce under either engine",
+    )
 
     rep = sub.add_parser("replay", help="replay a saved counterexample fixture")
     rep.add_argument("fixture", help="path to a schedule JSON")
+    rep.add_argument(
+        "--engine",
+        choices=ENGINE_MODES,
+        default="auto",
+        help="maintenance engine to replay with (fixtures are engine-agnostic)",
+    )
 
     chk = sub.add_parser("check", help="build one family and run its checkers")
     chk.add_argument("--family", choices=ALL_FAMILIES, required=True)
@@ -123,6 +137,7 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
             checkpoints=args.checkpoints,
             mutate_family=args.mutate,
             mutate_kind=args.mutate_kind,
+            engine=args.engine,
         )
         start = time.time()
         report = run_fuzz(config, shrink=not args.no_shrink)
@@ -162,6 +177,7 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
         config, events, expect_violations = schedule_from_json(
             Path(args.fixture).read_text()
         )
+        config.engine = args.engine
         report = replay(config, events)
         print(
             f"replayed {len(events)} events: "

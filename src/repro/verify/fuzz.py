@@ -59,6 +59,10 @@ class FuzzConfig:
     mutate_family: Optional[str] = None
     mutate_kind: str = "drop"
     routing_pairs: int = 32
+    #: maintenance engine to replay with ("auto"/"fast"/"reference") —
+    #: runtime-only, deliberately not serialized into fixtures: any fixture
+    #: must replay identically under either engine.
+    engine: str = "auto"
 
 
 @dataclass
@@ -126,11 +130,19 @@ def generate_schedule(config: FuzzConfig) -> List[Event]:
     return out
 
 
-def bootstrap_network(config: FuzzConfig) -> SimulatedCrescendo:
-    """The seed-derived initial population (fixed across shrinking)."""
+def bootstrap_network(
+    config: FuzzConfig, engine: Optional[str] = None
+) -> SimulatedCrescendo:
+    """The seed-derived initial population (fixed across shrinking).
+
+    ``engine`` overrides ``config.engine`` (the hook
+    :func:`repro.verify.oracles.compare_protocols` factories use).
+    """
+    from ..perf.dynamic import make_protocol
+
     rng = random.Random(f"fuzz-bootstrap:{config.seed}")
     space = IdSpace(config.bits)
-    net = SimulatedCrescendo(space)
+    net = make_protocol(space, engine=engine if engine is not None else config.engine)
     for node_id in space.random_ids(config.population, rng):
         net.join(node_id, FUZZ_PATHS[rng.randrange(len(FUZZ_PATHS))])
     net.stabilize_to_convergence()

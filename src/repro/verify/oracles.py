@@ -18,12 +18,20 @@ fuzzer checkpoint can call them:
   :mod:`repro.core.routing` and the batch kernels of
   :mod:`repro.perf.kernels`, and requires hop-for-hop agreement.
 
+- :func:`compare_protocols` replays one churn schedule through the
+  reference and fast dynamic-maintenance engines
+  (:class:`~repro.simulation.protocol.SimulatedCrescendo` vs.
+  :class:`~repro.perf.dynamic.FastSimulatedCrescendo`) and requires
+  identical delivery outcomes, identical per-kind message counts and
+  identical final protocol state (link tables, leaf sets, predecessors).
+
 When a :mod:`repro.obs.metrics` registry is active, ``verify.checks`` and
 ``verify.violations`` count oracle runs and findings.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple
@@ -32,6 +40,8 @@ from ..core.network import DHTNetwork, LinkTableError
 from ..core.routing import route
 from ..obs import metrics as obs_metrics
 from ..perf.kernels import batch_route
+from ..simulation.churn import Event, ScheduleReport, run_schedule
+from ..simulation.protocol import SimulatedCrescendo
 from .violations import InvariantViolationError, Violation
 
 #: Tolerance on mean out-degree for distributional builder comparison.
@@ -200,6 +210,122 @@ def compare_builders(
             out.append(violation(f"rng-independent side output {attr!r} differs"))
     _count_check(len(out))
     return BuildComparison(ref=ref, bulk=bulk, violations=out)
+
+
+# ------------------------------------------------------ protocol equivalence
+
+
+@dataclass
+class ProtocolComparison:
+    """Both engines' replays plus every disagreement found between them."""
+
+    ref: SimulatedCrescendo
+    fast: SimulatedCrescendo
+    ref_report: ScheduleReport
+    fast_report: ScheduleReport
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.violations
+
+    def raise_on_violations(self) -> "ProtocolComparison":
+        """Raise :class:`InvariantViolationError` unless equivalent."""
+        if self.violations:
+            raise InvariantViolationError(self.violations)
+        return self
+
+
+def compare_protocols(
+    factory: Callable[[str], SimulatedCrescendo],
+    events: Sequence[Event],
+    max_reported: int = 20,
+) -> ProtocolComparison:
+    """Replay one schedule through both maintenance engines and compare.
+
+    ``factory`` receives an engine name (``"reference"`` or ``"fast"``) and
+    returns a bootstrapped network; both instances then replay ``events``
+    via :func:`~repro.simulation.churn.run_schedule`.  Equivalence demands:
+
+    - identical replay reports, including every per-lookup
+      (delivered, terminal node) outcome;
+    - identical per-kind protocol message counts;
+    - identical final protocol state: live membership, link tables, and
+      per-level leaf sets and predecessor pointers.
+    """
+    ref = factory("reference")
+    fast = factory("fast")
+
+    def violation(message: str, **kw) -> Violation:
+        return Violation(
+            check="oracle-protocol", family="protocol", message=message, **kw
+        )
+
+    out: List[Violation] = []
+    if ref.engine != "reference":
+        out.append(violation(f"reference factory built the {ref.engine} engine"))
+    if fast.engine != "fast":
+        out.append(violation(f"fast factory built the {fast.engine} engine"))
+    ref_report = run_schedule(ref, list(events))
+    fast_report = run_schedule(fast, list(events))
+    for field_name, ref_value in dataclasses.asdict(ref_report).items():
+        fast_value = getattr(fast_report, field_name)
+        if ref_value != fast_value:
+            out.append(
+                violation(
+                    f"replay reports disagree on {field_name}: "
+                    f"reference {ref_value!r} vs fast {fast_value!r}"
+                )
+            )
+    ref_counts = dict(ref.msgs.stats.counts)
+    fast_counts = dict(fast.msgs.stats.counts)
+    for kind in sorted(set(ref_counts) | set(fast_counts)):
+        a, b = ref_counts.get(kind, 0), fast_counts.get(kind, 0)
+        if a != b:
+            out.append(
+                violation(
+                    f"message counts disagree for {kind!r}: "
+                    f"reference {a} vs fast {b}"
+                )
+            )
+    ref_links = ref.static_links()
+    fast_links = fast.static_links()
+    if set(ref_links) != set(fast_links):
+        out.append(violation("engines disagree on the live membership"))
+    else:
+        reported = 0
+        for node_id in sorted(ref_links):
+            if ref_links[node_id] != fast_links[node_id]:
+                out.append(
+                    violation("final link tables differ", node=node_id)
+                )
+                reported += 1
+            else:
+                ref_node = ref.nodes[node_id]
+                fast_node = fast.nodes[node_id]
+                for depth in range(ref_node.leaf_depth + 1):
+                    a, b = ref_node.rings[depth], fast_node.rings[depth]
+                    if a.successors != b.successors or a.predecessor != b.predecessor:
+                        out.append(
+                            violation(
+                                "final ring state differs",
+                                node=node_id,
+                                level=depth,
+                            )
+                        )
+                        reported += 1
+                        break
+            if reported >= max_reported:
+                out.append(violation("... further differing nodes suppressed"))
+                break
+    _count_check(len(out))
+    return ProtocolComparison(
+        ref=ref,
+        fast=fast,
+        ref_report=ref_report,
+        fast_report=fast_report,
+        violations=out,
+    )
 
 
 # ------------------------------------------------------- routing equivalence

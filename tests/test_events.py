@@ -5,7 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.simulation.events import (
+    CalendarQueue,
     ConstantLatency,
+    FastSimulator,
     MessageLayer,
     MessageStats,
     Simulator,
@@ -166,6 +168,10 @@ class TestLatencyAndStats:
         layer.send(1, 2, "join", lambda: None)
         layer.send(2, 3, "stabilize", lambda: None)
         layer.send(3, 1, "join", lambda: None)
+        # Mirroring is batched: counts land in the registry when the
+        # simulator drains its queue, not per message.
+        assert registry.counter("messages.join").value == 0
+        sim.run()
         assert registry.counter("messages.join").value == 2
         assert registry.counter("messages.stabilize").value == 1
         # The layer's own Counter keeps working alongside the sink.
@@ -177,4 +183,156 @@ class TestLatencyAndStats:
         with collecting() as registry:
             layer = MessageLayer(Simulator(), ConstantLatency())
         layer.send(1, 2, "ping", lambda: None)
+        layer.stats.flush()
         assert registry.counter("messages.ping").value == 1
+
+    def test_stats_reset_flushes_pending_batched_counts(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = MessageStats(batch_sink=registry.message_sink_batch())
+        stats.record("join")
+        stats.record("join")
+        assert registry.counter("messages.join").value == 0
+        snapshot = stats.reset()
+        assert snapshot["join"] == 2
+        assert registry.counter("messages.join").value == 2
+        assert not stats.pending
+
+
+class TestCalendarQueue:
+    def test_same_total_order_as_heap(self):
+        import heapq
+        import random
+
+        rng = random.Random(7)
+        items = [(rng.random() * 40, seq, None) for seq in range(500)]
+        heap = list(items)
+        heapq.heapify(heap)
+        cal = CalendarQueue(bucket_width=1.0)
+        for item in items:
+            cal.push(item)
+        while heap:
+            assert cal.peek() == heap[0]
+            assert cal.pop() == heapq.heappop(heap)
+        assert len(cal) == 0
+        assert cal.peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(bucket_width=0)
+
+    def test_interleaved_push_pop(self):
+        cal = CalendarQueue(bucket_width=2.0)
+        cal.push((5.0, 0, "a"))
+        cal.push((1.0, 1, "b"))
+        assert cal.pop() == (1.0, 1, "b")
+        cal.push((0.5, 2, "c"))
+        assert cal.pop() == (0.5, 2, "c")
+        assert cal.pop() == (5.0, 0, "a")
+
+
+class TestFastSimulator:
+    def test_matches_reference_execution_order(self):
+        import random
+
+        rng = random.Random(13)
+        delays = [rng.random() * 9 for _ in range(300)]
+        logs = []
+        for cls in (Simulator, FastSimulator):
+            sim = cls()
+            log = []
+            for i, d in enumerate(delays):
+                sim.schedule(d, lambda i=i: log.append(i))
+            sim.run()
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_run_until_and_pending(self):
+        sim = FastSimulator()
+        log = []
+        sim.schedule(1, lambda: log.append("early"))
+        sim.schedule(10, lambda: log.append("late"))
+        sim.run(until=5)
+        assert log == ["early"]
+        assert sim.pending == 1
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_events_scheduled_during_run(self):
+        sim = FastSimulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3:
+                sim.schedule(1, chain)
+
+        sim.schedule(1, chain)
+        sim.run()
+        assert log == [1, 2, 3]
+
+    def test_event_budget(self):
+        sim = FastSimulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+
+class TestLightweightEvents:
+    def test_post_dispatches_registered_handler(self):
+        sim = Simulator()
+        log = []
+        sim.on("deliver", lambda src, dst: log.append((sim.now, src, dst)))
+        sim.post(2, "deliver", 1, 9)
+        sim.post(1, "deliver", 4, 5)
+        assert sim.run() == 2
+        assert log == [(1, 4, 5), (2, 1, 9)]
+
+    def test_post_and_schedule_interleave_in_order(self):
+        sim = FastSimulator()
+        log = []
+        sim.on("tick", log.append)
+        sim.schedule(1, lambda: log.append("closure"))
+        sim.post(1, "tick", "tuple")
+        sim.run()
+        assert log == ["closure", "tuple"]
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        sim.on("x", lambda: None)
+        with pytest.raises(ValueError):
+            sim.post(-1, "x")
+
+    def test_unregistered_kind_raises(self):
+        sim = Simulator()
+        sim.post(0, "nope")
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_tracer_labels_posted_events_by_kind(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer)
+        sim.on("deliver", lambda: None)
+        sim.post(1, "deliver")
+        sim.run()
+        assert tracer.records[0]["attrs"]["action"] == "deliver"
+
+    def test_drain_hook_runs_per_drain(self):
+        sim = Simulator()
+        calls = []
+        sim.add_drain_hook(lambda: calls.append(sim.now))
+        sim.schedule(1, lambda: None)
+        sim.run()
+        sim.run()
+        assert calls == [1, 1]
