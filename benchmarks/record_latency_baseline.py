@@ -1,0 +1,242 @@
+"""Record the latency/SLO baseline into ``BENCH_latency.json``.
+
+Two sections, both anchored on the transit-stub internet model
+(:mod:`repro.topology.transit_stub`):
+
+- **routing** — for each ``--sizes`` population and each fig6 family
+  (Chord/Crescendo, plain and proximity-adapted), p50/p95/p99 lookup
+  milliseconds, mean latency and stretch vs direct IP, measured through
+  :func:`repro.analysis.metrics.sample_routing` with SLO recording on.
+  The greedy-ring families are measured through both the scalar reference
+  engine and the batch kernels (whose fused per-hop latency accumulator
+  must reproduce the scalar ``Route.latency`` fold **bit-for-bit** — the
+  two runs' full ``slo.*`` snapshots are asserted identical, and the
+  recorded numbers come from the batch run).
+
+- **churn** — one seed-derived fuzz schedule replayed through both
+  dynamic-maintenance engines via
+  :func:`repro.verify.oracles.compare_protocols` with a latency table:
+  lookup paths, outcomes, message counts *and per-lookup latency totals*
+  (reference = scalar per-hop fold, fast = vectorized gather) must agree
+  exactly; p50/p99 lookup ms under churn are then recorded from the
+  common paths.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_latency_baseline.py
+
+The checked-in ``BENCH_latency.json`` is the reference point for
+``benchmarks/check_regression.py``; the deterministic milliseconds in it
+are tolerance-checked (not the wall-clock timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.metrics import sample_routing  # noqa: E402
+from repro.core.routing import route_ring  # noqa: E402
+from repro.experiments.common import build_topology_setup, seeded_rng  # noqa: E402
+from repro.experiments.fig6_stretch import SYSTEMS  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs.quantiles import percentile  # noqa: E402
+from repro.obs.slo import SLOReport  # noqa: E402
+from repro.topology.transit_stub import (  # noqa: E402
+    TopologyParams,
+    TransitStubTopology,
+)
+from repro.verify.fuzz import (  # noqa: E402
+    FuzzConfig,
+    bootstrap_network,
+    generate_schedule,
+)
+from repro.verify.oracles import compare_protocols  # noqa: E402
+
+
+def _measure_family(setup, size, family, router, samples, engine):
+    """One family at one size through one engine; returns (row, snapshot)."""
+    rng = seeded_rng("latency-bench-route", size, family)
+    with obs_metrics.collecting() as registry:
+        stats = sample_routing(
+            setup_net(setup, family),
+            rng,
+            samples=samples,
+            router=router,
+            latency_fn=setup.latency,
+            engine=engine,
+            slo_label=family,
+        )
+    snapshot = registry.snapshot()
+    report = SLOReport.from_snapshot(snapshot)
+    row = report.row(family)
+    assert row is not None and stats.mean_latency is not None
+    return {
+        "samples": row.samples,
+        "delivered": row.delivered,
+        "p50_ms": row.p50_ms,
+        "p95_ms": row.p95_ms,
+        "p99_ms": row.p99_ms,
+        "mean_ms": stats.mean_latency,
+        "stretch": stats.mean_latency / setup.direct_latency,
+    }, snapshot
+
+
+def setup_net(setup, family):
+    return getattr(setup, family)
+
+
+def _without_perf(snapshot):
+    data = dict(snapshot.data)
+    data["counters"] = {
+        name: value
+        for name, value in data["counters"].items()
+        if not name.startswith("perf.")
+    }
+    return data
+
+
+def bench_routing(sizes, samples):
+    """Per-size, per-family latency rows + the scalar/batch equivalence."""
+    out = {}
+    checked_routes = 0
+    for size in sizes:
+        setup = build_topology_setup(size, "latency-bench")
+        per_family = {}
+        for label, family, router in SYSTEMS:
+            start = time.perf_counter()
+            if router is route_ring:
+                scalar_row, scalar_snap = _measure_family(
+                    setup, size, family, router, samples, "scalar"
+                )
+                batch_row, batch_snap = _measure_family(
+                    setup, size, family, router, samples, "batch"
+                )
+                # Bit-for-bit: identical histograms, reservoirs and counters
+                # means every per-route latency matched to the last bit.
+                # (perf.* counters describe the engine itself, not the routes,
+                # so the batch run legitimately has extras.)
+                assert _without_perf(scalar_snap) == _without_perf(batch_snap), (
+                    f"n={size} {family}: scalar vs batch slo snapshots differ"
+                )
+                assert scalar_row == batch_row
+                row, engine = batch_row, "scalar+batch (bit-identical)"
+                checked_routes += samples
+            else:
+                row, _ = _measure_family(
+                    setup, size, family, router, samples, "scalar"
+                )
+                engine = "scalar (grouped-proximity router)"
+            row["engine"] = engine
+            per_family[family] = row
+            print(
+                f"n={size:6d}  {label:24s}  p50 {row['p50_ms']:8.2f} ms  "
+                f"p99 {row['p99_ms']:8.2f} ms  stretch {row['stretch']:.3f}  "
+                f"({time.perf_counter() - start:.1f}s)"
+            )
+        out[str(size)] = per_family
+    equivalence = (
+        f"scalar vs batch slo snapshots bit-identical on "
+        f"{checked_routes} ring routes across {len(sizes)} sizes"
+    )
+    return out, equivalence
+
+
+def bench_churn(seed):
+    """Reference vs fast engine latency parity on one fuzz schedule."""
+    config = FuzzConfig(seed=seed, events=120, population=128, checkpoints=2)
+    schedule = generate_schedule(config)
+    topology = TransitStubTopology(
+        TopologyParams(2, 5, 2, 11), rng=seeded_rng("latency-bench-topo", seed)
+    )
+    # Attach every id the schedule can ever route through: the bootstrap
+    # population plus every scheduled join.
+    probe = bootstrap_network(config, engine="reference")
+    for node_id in sorted(probe.nodes):
+        topology.attach_node(node_id)
+    for event in schedule:
+        if event.kind == "join" and event.node not in probe.nodes:
+            topology.attach_node(event.node)
+    table = topology.latency_table()
+    comparison = compare_protocols(
+        lambda engine: bootstrap_network(config, engine=engine),
+        schedule,
+        latency=table,
+    )
+    assert comparison.equivalent, comparison.violations[:5]
+    lookup_ms = [
+        table.path_ms(path) for path in comparison.fast_report.lookup_paths
+    ]
+    ordered = sorted(lookup_ms)
+    equivalence = (
+        f"compare_protocols with latency: {len(schedule)} events @ "
+        f"population {config.population}, {len(lookup_ms)} lookups, "
+        f"latency totals bit-identical"
+    )
+    print(equivalence)
+    return {
+        "population": config.population,
+        "events": len(schedule),
+        "lookups": len(lookup_ms),
+        "p50_ms": percentile(ordered, 0.50),
+        "p99_ms": percentile(ordered, 0.99),
+    }, equivalence
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_latency.json"),
+        help="output path (default: repo-root BENCH_latency.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[512, 2048],
+        help="overlay populations to measure (default: 512 2048)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=200,
+        help="routed pairs per family per size (default 200)",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="churn schedule seed")
+    args = parser.parse_args(argv)
+
+    routing, routing_equivalence = bench_routing(args.sizes, args.samples)
+    churn, churn_equivalence = bench_churn(args.seed)
+    doc = {
+        "workload": {
+            "topology": "transit-stub (2040 routers) for routing; "
+            "120 routers for churn",
+            "route_samples": args.samples,
+            "seed_token": "latency-bench",
+            "churn_seed": args.seed,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": {
+            "routing": routing_equivalence,
+            "engines": churn_equivalence,
+        },
+        "routing": routing,
+        "churn": churn,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,16 +12,44 @@ import statistics
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.hierarchy import format_name, lca
 from ..core.network import DHTNetwork
 from ..core.routing import Route, route_ring, route_xor
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.profile import PROFILER
 from ..perf.kernels import CompiledNetwork, compile_network
+from ..perf.latency import LatencyTable
 from ..workloads.queries import random_pair
 
 Router = Callable[[DHTNetwork, int, int], Route]
 LatencyFn = Callable[[int, int], float]
+
+
+def _latency_table(latency_fn: Optional[LatencyFn]) -> Optional[LatencyTable]:
+    """The vectorized table behind ``latency_fn``, when one exists.
+
+    Recognizes a :class:`LatencyTable` passed directly, and the common case
+    of a bound ``node_latency`` method of a
+    :class:`~repro.topology.transit_stub.TransitStubTopology` (or anything
+    else exposing ``latency_table()``) — the scalar per-hop oracle then has
+    an exact vectorized twin the batch kernels can accumulate with.
+    """
+    if latency_fn is None:
+        return None
+    if isinstance(latency_fn, LatencyTable):
+        return latency_fn
+    owner = getattr(latency_fn, "__self__", None)
+    if (
+        owner is not None
+        and getattr(latency_fn, "__name__", "") == "node_latency"
+        and hasattr(owner, "latency_table")
+    ):
+        try:
+            return owner.latency_table()
+        except (KeyError, ValueError):
+            return None
+    return None
 
 
 @dataclass
@@ -127,6 +155,7 @@ def sample_routing(
     latency_fn: Optional[LatencyFn] = None,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
     engine: str = "auto",
+    slo_label: Optional[str] = None,
 ) -> RoutingStats:
     """Route random (or given) node pairs and aggregate hops/latency.
 
@@ -137,64 +166,112 @@ def sample_routing(
     per-route scalar engine otherwise; ``"batch"`` insists on the kernels;
     ``"scalar"`` opts out.
 
+    Latency: when ``latency_fn`` is the transit-stub topology's
+    ``node_latency`` (or a :class:`~repro.perf.latency.LatencyTable`), the
+    batch engine accumulates per-hop latency *inside* the routing kernels
+    with vectorized router-matrix gathers — no Python call per hop, no
+    path materialization just for latency — and the totals are bit-for-bit
+    what the scalar fold produces.  Any other callable falls back to the
+    per-hop scalar fold over materialized paths.
+
     When an observability tracer or metrics registry is active
     (:mod:`repro.obs`), every sampled route is additionally recorded: the
-    tracer gets one hop-annotated route record per attempt, and the
-    registry accumulates ``route.hops``/``route.latency``/``route.crossings``
+    tracer gets one hop-annotated route record per attempt (with a
+    ``latency_ms`` attr when latency is measured), and the registry
+    accumulates ``route.hops``/``route.latency``/``route.crossings``
     histograms (crossings = top-level domain boundaries crossed, via
     :meth:`~repro.core.routing.Route.domain_crossings`) plus
     ``route.samples``/``route.delivered``/``messages.lookup`` counters (each
-    routing hop is one lookup message in a deployed DHT).  Neither changes
-    any routing decision.  Wall-clock time spent here accrues to the
-    ``route`` phase of :data:`repro.obs.profile.PROFILER`.
+    routing hop is one lookup message in a deployed DHT).  With an
+    ``slo_label``, delivered-lookup latencies are additionally recorded as
+    the ``slo.*`` instruments :class:`repro.obs.slo.SLOReport` consumes:
+    ``slo.lookup_ms.<label>`` (plus per-level ``.L<k>`` splits by the
+    source/target lowest-common-domain depth), matching ``slo.direct_ms``
+    histograms for the stretch denominator, offered/delivered counters,
+    and per-top-level-domain traffic counters.  Neither changes any
+    routing decision.  Wall-clock time spent here accrues to the ``route``
+    phase of :data:`repro.obs.profile.PROFILER`.
     """
     tracer = obs_trace.active_tracer()
     registry = obs_metrics.active_registry()
     workload = _workload(network, rng, samples, pairs)
     compiled = _batch_compiled(network, router, engine)
+    table = _latency_table(latency_fn)
+    track_slo = registry is not None and slo_label is not None
     hops: List[int] = []
     latencies: List[float] = []
     crossings: List[int] = []
+    delivered_pairs: List[Tuple[int, int]] = []
     delivered = 0
     total = len(workload)
     with PROFILER.phase("route"):
         if compiled is not None:
-            # Full paths are only materialized when something consumes them.
+            # Full paths are only materialized when something consumes
+            # them; a latency table needs none (the kernels accumulate).
             need_paths = (
-                tracer is not None or registry is not None or latency_fn is not None
+                tracer is not None
+                or registry is not None
+                or (latency_fn is not None and table is None)
             )
             batch = compiled.route(
-                [p[0] for p in workload], [p[1] for p in workload], paths=need_paths
+                [p[0] for p in workload],
+                [p[1] for p in workload],
+                paths=need_paths,
+                latency=table,
             )
             ok = batch.success & (batch.terminals == batch.dest_keys)
             if not need_paths:
                 delivered = int(ok.sum())
                 hops = batch.hops[ok].tolist()
+                if table is not None:
+                    latencies = batch.latency_ms[ok].tolist()
+                    if track_slo:
+                        delivered_pairs = [
+                            workload[i] for i in range(total) if ok[i]
+                        ]
             else:
                 for i, result in enumerate(batch.routes()):
+                    lat = (
+                        float(batch.latency_ms[i])
+                        if table is not None
+                        else (
+                            result.latency(latency_fn)
+                            if latency_fn is not None
+                            else None
+                        )
+                    )
                     if tracer is not None:
-                        tracer.route(result, hierarchy=network.hierarchy)
+                        extra = {} if lat is None else {"latency_ms": lat}
+                        tracer.route(result, hierarchy=network.hierarchy, **extra)
                     if not ok[i]:
                         continue
                     delivered += 1
                     hops.append(result.hops)
                     if registry is not None:
                         crossings.append(result.domain_crossings(network.hierarchy))
-                    if latency_fn is not None:
-                        latencies.append(result.latency(latency_fn))
+                    if lat is not None:
+                        latencies.append(lat)
+                    if track_slo:
+                        delivered_pairs.append(workload[i])
         else:
             for src, dst in workload:
                 result = router(network, src, dst)
+                lat = (
+                    result.latency(latency_fn) if latency_fn is not None else None
+                )
                 if tracer is not None:
-                    tracer.route(result, hierarchy=network.hierarchy)
+                    extra = {} if lat is None else {"latency_ms": lat}
+                    tracer.route(result, hierarchy=network.hierarchy, **extra)
                 if not (result.success and result.terminal == dst):
                     continue
                 delivered += 1
                 hops.append(result.hops)
                 if registry is not None:
                     crossings.append(result.domain_crossings(network.hierarchy))
-                if latency_fn is not None:
-                    latencies.append(result.latency(latency_fn))
+                if lat is not None:
+                    latencies.append(lat)
+                if track_slo:
+                    delivered_pairs.append((src, dst))
     if registry is not None:
         registry.counter("route.samples").inc(total)
         registry.counter("route.delivered").inc(delivered)
@@ -203,12 +280,78 @@ def sample_routing(
         registry.histogram("route.crossings").observe_many(crossings)
         if latencies:
             registry.histogram("route.latency").observe_many(latencies)
+        if track_slo:
+            _record_slo(
+                registry,
+                slo_label,
+                network,
+                total,
+                delivered_pairs,
+                latencies,
+                latency_fn,
+                table,
+            )
     return RoutingStats(
         samples=total,
         delivered=delivered,
         mean_hops=statistics.mean(hops) if hops else 0.0,
         mean_latency=statistics.mean(latencies) if latencies else None,
     )
+
+
+def _record_slo(
+    registry: "obs_metrics.MetricsRegistry",
+    label: str,
+    network: DHTNetwork,
+    offered: int,
+    delivered_pairs: Sequence[Tuple[int, int]],
+    latencies: Sequence[float],
+    latency_fn: Optional[LatencyFn],
+    table: Optional[LatencyTable],
+) -> None:
+    """Record the ``slo.*`` instruments for one measured family.
+
+    ``delivered_pairs`` and ``latencies`` are aligned (delivered lookups
+    only).  Levels are the depth of the source/target lowest common
+    domain; the per-domain counters attribute each delivered lookup to its
+    top-level LCA domain (``root`` for cross-domain traffic).
+    """
+    registry.counter(f"slo.samples.{label}").inc(offered)
+    registry.counter(f"slo.delivered.{label}").inc(len(delivered_pairs))
+    if not delivered_pairs or not latencies:
+        return
+    registry.histogram(f"slo.lookup_ms.{label}").observe_many(latencies)
+    if table is not None:
+        import numpy as np
+
+        directs = table.hop_ms(
+            np.asarray([p[0] for p in delivered_pairs], dtype=np.uint64),
+            np.asarray([p[1] for p in delivered_pairs], dtype=np.uint64),
+        ).tolist()
+    elif latency_fn is not None:
+        directs = [latency_fn(src, dst) for src, dst in delivered_pairs]
+    else:
+        directs = []
+    if directs:
+        registry.histogram(f"slo.direct_ms.{label}").observe_many(directs)
+    hierarchy = network.hierarchy
+    by_level: Dict[int, List[float]] = {}
+    direct_by_level: Dict[int, List[float]] = {}
+    domain_counts: Dict[str, int] = {}
+    for i, (src, dst) in enumerate(delivered_pairs):
+        common = lca(hierarchy.path_of(src), hierarchy.path_of(dst))
+        level = len(common)
+        by_level.setdefault(level, []).append(latencies[i])
+        if directs:
+            direct_by_level.setdefault(level, []).append(directs[i])
+        top = format_name(common[:1]) if common else "root"
+        domain_counts[top] = domain_counts.get(top, 0) + 1
+    for level, values in sorted(by_level.items()):
+        registry.histogram(f"slo.lookup_ms.{label}.L{level}").observe_many(values)
+    for level, values in sorted(direct_by_level.items()):
+        registry.histogram(f"slo.direct_ms.{label}.L{level}").observe_many(values)
+    for domain, count in sorted(domain_counts.items()):
+        registry.counter(f"slo.domain.{label}.{domain}").inc(count)
 
 
 def stretch(
@@ -219,11 +362,13 @@ def stretch(
     samples: int = 500,
     router: Router = route_ring,
     engine: str = "auto",
+    slo_label: Optional[str] = None,
 ) -> Tuple[float, float]:
     """(stretch, mean overlay latency) relative to mean direct latency.
 
     Stretch 1 means overlay routing is as fast as routing directly between
-    the two hosts on the modelled internet (Figure 6).
+    the two hosts on the modelled internet (Figure 6).  ``slo_label``
+    passes through to :func:`sample_routing`'s SLO recording.
     """
     stats = sample_routing(
         network,
@@ -232,6 +377,7 @@ def stretch(
         router=router,
         latency_fn=latency_fn,
         engine=engine,
+        slo_label=slo_label,
     )
     if stats.mean_latency is None or direct_latency <= 0:
         raise ValueError("latency sampling failed")

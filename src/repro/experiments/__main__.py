@@ -93,6 +93,13 @@ def main(argv=None) -> int:
         "write a metrics snapshot JSON here",
     )
     parser.add_argument(
+        "--slo",
+        metavar="OUT.json",
+        help="write the family x level SLO table (p50/p95/p99 lookup ms, "
+        "stretch, availability) built from the run's metrics; implies "
+        "metrics collection (see also 'python -m repro.obs report')",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="report build vs. route vs. analysis wall time per run (stderr)",
@@ -156,7 +163,11 @@ def main(argv=None) -> int:
     _configure_logging(-1 if args.quiet else args.verbose)
 
     tracer = obs_trace.activate(obs_trace.Tracer()) if args.trace else None
-    registry = obs_metrics.activate(obs_metrics.MetricsRegistry()) if args.metrics else None
+    registry = (
+        obs_metrics.activate(obs_metrics.MetricsRegistry())
+        if (args.metrics or args.slo)
+        else None
+    )
     cache = None
     if not args.no_cache:
         cache = perf_cache.enable(perf_cache.NetworkCache(args.cache_dir))
@@ -192,8 +203,16 @@ def main(argv=None) -> int:
             logger.info("wrote %d trace records to %s", len(tracer), args.trace)
             obs_trace.deactivate()
         if registry is not None:
-            registry.export_json(args.metrics)
-            logger.info("wrote metrics snapshot to %s", args.metrics)
+            if args.metrics:
+                registry.export_json(args.metrics)
+                logger.info("wrote metrics snapshot to %s", args.metrics)
+            if args.slo:
+                from ..obs.slo import SLOReport
+
+                slo = SLOReport.from_snapshot(registry.snapshot())
+                with open(args.slo, "w") as fh:
+                    fh.write(slo.to_json() + "\n")
+                logger.info("wrote %d SLO rows to %s", len(slo), args.slo)
             obs_metrics.deactivate()
     return exit_code
 

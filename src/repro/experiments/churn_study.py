@@ -1,14 +1,19 @@
-"""Churn study: delivery and maintenance traffic vs churn intensity.
+"""Churn study: delivery, maintenance traffic and lookup latency vs churn.
 
 Not a paper figure — the paper treats dynamic maintenance analytically
 (§2.3: O(log n) messages per join, leaf sets for departures).  This study
 exercises that machinery end-to-end: a 150-node Crescendo absorbs rising
 churn (joins + graceful leaves + crashes interleaved with a fixed
 stabilization budget) while application lookups run, and we record the
-delivery rate, per-join message cost, and whether the network converges
-back to the static oracle.
+delivery rate, per-join message cost, whether the network converges back
+to the static oracle, and — through a small transit-stub topology serving
+as the latency oracle — p50/p99 lookup milliseconds under churn.  The
+protocol's abstract domain hierarchy (``PATHS``) is unchanged; the
+topology only prices hops, with joining nodes attached on the fly.
 
-Run: ``python -m repro.experiments churn --scale smoke``.
+Run: ``python -m repro.experiments churn --scale smoke``.  With a metrics
+registry active (``--metrics``/``--slo``), per-intensity latencies are
+recorded as ``slo.*`` instruments under the ``churn.<intensity>`` family.
 """
 
 from __future__ import annotations
@@ -17,8 +22,10 @@ from typing import Dict
 
 from ..core.idspace import IdSpace
 from ..analysis.tables import Table
+from ..obs import metrics as obs_metrics
 from ..perf.dynamic import make_protocol
 from ..simulation.churn import ChurnConfig, run_churn
+from ..topology.transit_stub import TopologyParams, TransitStubTopology
 from .common import get_scale, seeded_rng
 
 PATHS = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "x")]
@@ -29,18 +36,54 @@ INTENSITIES = {
     "heavy": ChurnConfig(joins=80, leaves=50, crashes=20, lookups=150),
 }
 
+#: Small transit-stub graph (120 routers) — ample stub diversity for a few
+#: hundred nodes without the 2040-router all-pairs cost per intensity.
+TOPOLOGY_PARAMS = TopologyParams(
+    transit_domains=2,
+    transit_per_domain=5,
+    stub_domains_per_transit=2,
+    stub_per_domain=11,
+)
+
 
 def measurements(scale: str = "smoke") -> Dict[str, Dict[str, float]]:
-    """intensity -> delivery/traffic/convergence metrics."""
+    """intensity -> delivery/traffic/convergence/latency metrics."""
     size = 150 if scale == "smoke" else 400
+    registry = obs_metrics.active_registry()
     out: Dict[str, Dict[str, float]] = {}
     for label, config in INTENSITIES.items():
         rng = seeded_rng("churn", label, size)
         space = IdSpace()
+        topology = TransitStubTopology(
+            TOPOLOGY_PARAMS, rng=seeded_rng("churn-topo", label, size)
+        )
         net = make_protocol(space)
         for node_id in space.random_ids(size, rng):
+            topology.attach_node(node_id)
             net.join(node_id, PATHS[rng.randrange(len(PATHS))])
-        report = run_churn(net, rng, PATHS, config)
+        report = run_churn(
+            net,
+            rng,
+            PATHS,
+            config,
+            latency=topology,
+            attach=topology.attach_node,
+        )
+        if registry is not None:
+            family = f"churn.{label}"
+            registry.counter(f"slo.samples.{family}").inc(report.lookups_attempted)
+            registry.counter(f"slo.delivered.{family}").inc(report.lookups_delivered)
+            if report.lookup_ms:
+                registry.histogram(f"slo.lookup_ms.{family}").observe_many(
+                    report.lookup_ms
+                )
+                by_level: Dict[int, list] = {}
+                for level, ms in zip(report.lookup_levels, report.lookup_ms):
+                    by_level.setdefault(level, []).append(ms)
+                for level, values in sorted(by_level.items()):
+                    registry.histogram(
+                        f"slo.lookup_ms.{family}.L{level}"
+                    ).observe_many(values)
         total_events = config.joins + config.leaves + config.crashes
         out[label] = {
             "events": float(total_events),
@@ -48,6 +91,8 @@ def measurements(scale: str = "smoke") -> Dict[str, Dict[str, float]]:
             "join_msgs_per_join": report.join_messages / max(1, config.joins),
             "stabilize_msgs": float(report.stabilize_messages),
             "converged": float(report.converged_to_oracle),
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
         }
     return out
 
@@ -56,8 +101,17 @@ def run(scale: str = "smoke") -> Table:
     """Render the churn-intensity table."""
     data = measurements(scale)
     table = Table(
-        "Churn study — delivery and maintenance traffic vs intensity",
-        ["intensity", "events", "delivery", "msgs/join", "stabilize msgs", "converged"],
+        "Churn study — delivery, maintenance traffic and latency vs intensity",
+        [
+            "intensity",
+            "events",
+            "delivery",
+            "msgs/join",
+            "stabilize msgs",
+            "converged",
+            "p50 ms",
+            "p99 ms",
+        ],
     )
     for label in ("light", "moderate", "heavy"):
         row = data[label]
@@ -68,5 +122,7 @@ def run(scale: str = "smoke") -> Table:
             row["join_msgs_per_join"],
             int(row["stabilize_msgs"]),
             bool(row["converged"]),
+            row["p50_ms"],
+            row["p99_ms"],
         )
     return table

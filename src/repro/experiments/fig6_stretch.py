@@ -47,6 +47,7 @@ def _grid_point(point: Tuple[int, int]) -> Dict[str, Tuple[float, float]]:
             setup.direct_latency,
             samples=samples,
             router=router,
+            slo_label=attr,
         )
     return out
 

@@ -10,6 +10,13 @@ zero-dependency observability layer:
   and Chrome ``chrome://tracing`` trace-event files.
 - :mod:`repro.obs.metrics` — a process-local registry of counters, gauges
   and fixed-bucket histograms with snapshot/diff/merge and CSV/JSON export.
+  Histograms carry a bounded reservoir of raw observations so snapshots
+  answer p50/p95/p99 in milliseconds, not bucket bounds.
+- :mod:`repro.obs.quantiles` — the streaming quantile estimators behind
+  that (deterministic reservoir sampling and the P² marker algorithm).
+- :mod:`repro.obs.slo` — ``SLOReport``: family x level -> {p50/p95/p99
+  lookup ms, stretch vs direct, availability} tables parsed back out of a
+  snapshot; ``python -m repro.obs report`` is the CLI.
 - :mod:`repro.obs.profile` — phase timers (build vs route vs analysis) and
   an opt-in sampling profiler.
 
@@ -28,6 +35,8 @@ from .metrics import (
     collecting,
 )
 from .profile import PROFILER, PhaseProfiler, SamplingProfiler
+from .quantiles import P2Quantile, ReservoirSample, bucket_quantile, percentile
+from .slo import SLOReport, SLORow
 from .trace import (
     HopAnnotation,
     Tracer,
@@ -44,14 +53,20 @@ __all__ = [
     "HopAnnotation",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "P2Quantile",
     "PROFILER",
     "PhaseProfiler",
+    "ReservoirSample",
+    "SLOReport",
+    "SLORow",
     "SamplingProfiler",
     "Tracer",
     "active_registry",
     "active_tracer",
     "annotate_hops",
+    "bucket_quantile",
     "collecting",
     "jsonl_to_chrome",
+    "percentile",
     "tracing",
 ]

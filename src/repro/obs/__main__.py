@@ -1,0 +1,52 @@
+"""``python -m repro.obs`` — observability CLI.
+
+``report`` turns an exported metrics-snapshot JSON file (``--metrics`` on
+the experiments CLI, or any :meth:`MetricsSnapshot.export_json` output)
+into the family x level SLO table::
+
+    python -m repro.obs report metrics.json            # text table
+    python -m repro.obs report metrics.json --json slo.json --csv slo.csv
+
+The experiments CLI's ``--slo`` flag and the benchmark-smoke CI job call
+this to publish a latency table per run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .slo import SLOReport
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.split("\n\n")[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="render the family x level SLO table from a snapshot"
+    )
+    report.add_argument("snapshot", help="metrics snapshot JSON file")
+    report.add_argument("--json", metavar="PATH", help="also write the table as JSON")
+    report.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
+    report.add_argument(
+        "--quiet", action="store_true", help="suppress the text table on stdout"
+    )
+    args = parser.parse_args(argv)
+
+    slo = SLOReport.from_json_file(args.snapshot)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(slo.to_json() + "\n")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(slo.to_csv() + "\n")
+    if not args.quiet:
+        print(slo.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ otherwise.
 from __future__ import annotations
 
 import json
+import random
 from contextlib import contextmanager
 from typing import (
     Any,
@@ -34,6 +35,13 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+)
+
+from .quantiles import (
+    DEFAULT_RESERVOIR_CAP,
+    ReservoirSample,
+    bucket_quantile,
+    percentile,
 )
 
 #: Default histogram upper bounds: powers of two cover hop counts and
@@ -77,9 +85,15 @@ class Histogram:
     A value ``v`` lands in the first bucket whose bound satisfies
     ``v <= bound``; values above the last bound land in the implicit
     overflow bucket.  ``counts`` therefore has ``len(buckets) + 1`` slots.
+
+    Alongside the buckets, each histogram keeps a bounded uniform
+    reservoir of raw observations (:class:`~repro.obs.quantiles
+    .ReservoirSample`) so :meth:`quantile` answers p50/p95/p99 as actual
+    values — exact up to the reservoir capacity, an unbiased estimate
+    beyond — instead of bucket-bound approximations.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "sample")
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
@@ -89,6 +103,7 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self.sample = ReservoirSample(name, DEFAULT_RESERVOIR_CAP)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -100,6 +115,7 @@ class Histogram:
         self.counts[idx] += 1
         self.sum += value
         self.count += 1
+        self.sample.observe(value)
 
     def observe_many(self, values: Sequence[float]) -> None:
         """Record a batch of observations in one vectorized pass.
@@ -124,11 +140,30 @@ class Histogram:
             self.counts[i] += int(cnt)
         self.sum += float(arr.sum())
         self.count += int(arr.size)
+        self.sample.observe_many(arr.tolist())
 
     @property
     def mean(self) -> float:
         """Mean of all observations (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (fraction in [0, 1]) of the observations.
+
+        Exact while the reservoir still holds every observation, a uniform
+        subsample estimate beyond that, and a bucket interpolation only if
+        the reservoir is somehow empty while counts are not.
+        """
+        if self.sample.values:
+            return self.sample.quantile(q)
+        return bucket_quantile(self.buckets, self.counts, q)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """:meth:`quantile` for several fractions, sorting the sample once."""
+        if self.sample.values:
+            ordered = sorted(self.sample.values)
+            return [percentile(ordered, q) for q in qs]
+        return [bucket_quantile(self.buckets, self.counts, q) for q in qs]
 
 
 class MetricsRegistry:
@@ -190,6 +225,9 @@ class MetricsRegistry:
                 inst.counts[i] += cnt
             inst.sum += hist["sum"]
             inst.count += hist["count"]
+        for name, values in snapshot.samples.items():
+            if values:
+                self.histogram(name).sample.observe_many(values)
 
     def message_sink(self, prefix: str = "messages") -> Callable[[str], None]:
         """A ``kind -> None`` callable counting into ``{prefix}.{kind}``.
@@ -237,6 +275,11 @@ class MetricsRegistry:
                     }
                     for n, h in sorted(self._histograms.items())
                 },
+                "samples": {
+                    n: list(h.sample.values)
+                    for n, h in sorted(self._histograms.items())
+                    if h.sample.values
+                },
             }
         )
 
@@ -265,7 +308,9 @@ class MetricsSnapshot:
         {"counters": {name: int},
          "gauges": {name: float},
          "histograms": {name: {"buckets": [...], "counts": [...],
-                               "sum": float, "count": int}}}
+                               "sum": float, "count": int}},
+         "samples": {name: [raw observations retained by the histogram's
+                            reservoir — what quantile() reads]}}
     """
 
     def __init__(self, data: Dict[str, Any]) -> None:
@@ -274,6 +319,11 @@ class MetricsSnapshot:
             "gauges": dict(data.get("gauges", {})),
             "histograms": {
                 name: dict(hist) for name, hist in data.get("histograms", {}).items()
+            },
+            "samples": {
+                name: list(values)
+                for name, values in data.get("samples", {}).items()
+                if values
             },
         }
 
@@ -293,6 +343,25 @@ class MetricsSnapshot:
     def histograms(self) -> Dict[str, Dict[str, Any]]:
         """Histogram name -> {buckets, counts, sum, count}."""
         return self.data["histograms"]
+
+    @property
+    def samples(self) -> Dict[str, List[float]]:
+        """Histogram name -> retained raw observations (reservoir)."""
+        return self.data["samples"]
+
+    def quantile(self, name: str, q: float) -> float:
+        """The ``q``-quantile of histogram ``name`` at snapshot time.
+
+        Uses the retained reservoir sample when present (exact up to the
+        reservoir capacity), falling back to bucket interpolation for
+        snapshots recorded without samples.  Raises ``KeyError`` for an
+        unknown histogram.
+        """
+        values = self.samples.get(name)
+        if values:
+            return percentile(sorted(values), q)
+        hist = self.histograms[name]
+        return bucket_quantile(hist["buckets"], hist["counts"], q)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, MetricsSnapshot) and self.data == other.data
@@ -328,6 +397,9 @@ class MetricsSnapshot:
                 "counters": counters,
                 "gauges": dict(self.gauges),
                 "histograms": histograms,
+                # Reservoirs cannot be subtracted; keep the newer sample,
+                # which covers everything up to this snapshot.
+                "samples": {n: list(v) for n, v in self.samples.items()},
             }
         )
 
@@ -355,8 +427,25 @@ class MetricsSnapshot:
                 "sum": mine["sum"] + hist["sum"],
                 "count": mine["count"] + hist["count"],
             }
+        samples: Dict[str, List[float]] = {
+            name: list(values) for name, values in self.samples.items()
+        }
+        for name, values in other.samples.items():
+            combined = samples.get(name, []) + list(values)
+            if len(combined) > DEFAULT_RESERVOIR_CAP:
+                # Deterministic uniform downsample back to the reservoir cap
+                # (seeded per name so shard merges are reproducible).
+                rng = random.Random(f"samples-merge:{name}")
+                keep = sorted(rng.sample(range(len(combined)), DEFAULT_RESERVOIR_CAP))
+                combined = [combined[i] for i in keep]
+            samples[name] = combined
         return MetricsSnapshot(
-            {"counters": counters, "gauges": gauges, "histograms": histograms}
+            {
+                "counters": counters,
+                "gauges": gauges,
+                "histograms": histograms,
+                "samples": samples,
+            }
         )
 
     # --------------------------------------------------------------- export

@@ -41,7 +41,7 @@ DHT families in ``tests/test_perf_kernels.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from ..core.network import DHTNetwork
 from ..core.routing import MAX_HOPS, Route, _sorted_live
 from ..obs import metrics as obs_metrics
 from ..obs.profile import PROFILER
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from .latency import LatencyTable
 
 __all__ = [
     "BatchResult",
@@ -75,7 +78,12 @@ class BatchResult:
     the scalar engines' success flag (so *delivery* of a lookup for key ``k``
     is ``success & (terminals == k)``, same as the sampling harness checks).
     ``paths`` is only populated when requested — hop counting alone never
-    materializes paths.
+    materializes paths.  ``latency_ms`` is populated when the route call
+    was given a :class:`~repro.perf.latency.LatencyTable`: per-route
+    overlay latency in ms, accumulated per hop in hop order (float64 left
+    fold), bit-identical to the scalar
+    :meth:`~repro.core.routing.Route.latency` total — without ever
+    materializing paths.
     """
 
     sources: np.ndarray
@@ -84,6 +92,7 @@ class BatchResult:
     terminals: np.ndarray
     success: np.ndarray
     paths: Optional[List[List[int]]] = None
+    latency_ms: Optional[np.ndarray] = None
 
     @property
     def size(self) -> int:
@@ -277,6 +286,23 @@ class CompiledNetwork:
         )
         return nz, seg_starts, flat, cnz
 
+    def _latency_state(
+        self, latency: Optional["LatencyTable"]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.float64]]:
+        """``(router-per-position, matrix, 2*host_ms)`` for per-hop gathers.
+
+        ``aligned_routers`` maps every compiled position straight to its
+        router index, so each hop's latency is two int gathers plus one
+        float gather — no per-hop id lookups, no Python-level calls.
+        """
+        if latency is None:
+            return None
+        return (
+            latency.aligned_routers(self.ids),
+            latency.matrix,
+            latency.hop2_ms,
+        )
+
     # ------------------------------------------------------- terminal checks
 
     def _responsible(
@@ -369,15 +395,23 @@ class CompiledNetwork:
         dest_keys: Sequence[int],
         alive: Optional[Set[int]] = None,
         paths: bool = False,
+        latency: Optional["LatencyTable"] = None,
     ) -> BatchResult:
         """Batch greedy clockwise routing, identical to ``route_ring``."""
         src, dest = _as_batch(sources, dest_keys)
+        lat_state = self._latency_state(latency)
         if alive is None:
-            return self._route_ring_fast(src, dest, paths)
-        return self._route_ring_alive(src, dest, self._alive_array(alive), paths)
+            return self._route_ring_fast(src, dest, paths, lat_state)
+        return self._route_ring_alive(
+            src, dest, self._alive_array(alive), paths, lat_state
+        )
 
     def _route_ring_fast(
-        self, src: np.ndarray, dest: np.ndarray, paths: bool
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        paths: bool,
+        lat_state=None,
     ) -> BatchResult:
         """No-filter ring loop over the padded distance matrix.
 
@@ -397,6 +431,9 @@ class CompiledNetwork:
         """
         m = src.size
         path_lists = [[int(s)] for s in src] if paths else None
+        lat = np.zeros(m, dtype=np.float64) if lat_state is not None else None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
         dist2d, posflat, ids_small = self._ring_matrix()
         dt = dist2d.dtype.type
         width = dist2d.shape[1]
@@ -432,6 +469,17 @@ class CompiledNetwork:
                 break
             np.add(hops, moved, out=hops)
             cur, nxt = nxt, cur
+            if lat is not None:
+                # After the swap ``nxt`` holds the previous positions.
+                # Accumulating into the full-length ``lat`` per hop (rather
+                # than folding at compaction) keeps each route's additions
+                # a strict left fold in hop order — bit-identical to the
+                # scalar per-hop sum.
+                hrows = np.flatnonzero(moved)
+                orig = hrows if sel is None else sel[hrows]
+                lat[orig] += lhop2 + lmat[
+                    lr[nxt[hrows]], lr[cur[hrows]]
+                ].astype(np.float64)
             if path_lists is not None:
                 for ri in np.flatnonzero(moved).tolist():
                     oi = ri if sel is None else int(sel[ri])
@@ -478,7 +526,7 @@ class CompiledNetwork:
             )
             resp = np.where(rp < 0, self.n - 1, rp)
             success[stuck] = cur[stuck] == resp
-        return self._result(src, dest, hops, terminal, success, path_lists)
+        return self._result(src, dest, hops, terminal, success, path_lists, lat)
 
     def _route_ring_alive(
         self,
@@ -486,6 +534,7 @@ class CompiledNetwork:
         dest: np.ndarray,
         alive_arr: np.ndarray,
         paths: bool,
+        lat_state=None,
     ) -> BatchResult:
         """Filtered ring loop: per-hop segment scan over the frontier."""
         m = src.size
@@ -494,6 +543,9 @@ class CompiledNetwork:
         success = np.zeros(m, dtype=bool)
         terminal = cur.copy()
         path_lists = [[int(s)] for s in src] if paths else None
+        lat = np.zeros(m, dtype=np.float64) if lat_state is not None else None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
         active = np.arange(m, dtype=np.int64)
         for _ in range(MAX_HOPS + 1):
             if active.size == 0:
@@ -521,6 +573,10 @@ class CompiledNetwork:
             adv = active[has_step]
             if adv.size:
                 new_pos = nxt[has_step]
+                if lat is not None:
+                    lat[adv] += lhop2 + lmat[
+                        lr[cur[adv]], lr[new_pos]
+                    ].astype(np.float64)
                 cur[adv] = new_pos
                 hops[adv] += 1
                 if path_lists is not None:
@@ -531,7 +587,9 @@ class CompiledNetwork:
             raise RuntimeError(
                 f"routing exceeded {MAX_HOPS} hops: likely a broken network"
             )
-        return self._result(src, dest, hops, self.ids[terminal], success, path_lists)
+        return self._result(
+            src, dest, hops, self.ids[terminal], success, path_lists, lat
+        )
 
     def route_xor(
         self,
@@ -539,15 +597,23 @@ class CompiledNetwork:
         dest_keys: Sequence[int],
         alive: Optional[Set[int]] = None,
         paths: bool = False,
+        latency: Optional["LatencyTable"] = None,
     ) -> BatchResult:
         """Batch greedy XOR routing, identical to ``route_xor``."""
         src, dest = _as_batch(sources, dest_keys)
+        lat_state = self._latency_state(latency)
         if alive is None:
-            return self._route_xor_fast(src, dest, paths)
-        return self._route_xor_alive(src, dest, self._alive_array(alive), paths)
+            return self._route_xor_fast(src, dest, paths, lat_state)
+        return self._route_xor_alive(
+            src, dest, self._alive_array(alive), paths, lat_state
+        )
 
     def _route_xor_fast(
-        self, src: np.ndarray, dest: np.ndarray, paths: bool
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        paths: bool,
+        lat_state=None,
     ) -> BatchResult:
         """No-filter XOR loop: the bracketing pair via one searchsorted.
 
@@ -574,6 +640,9 @@ class CompiledNetwork:
         hops = np.zeros(m, dtype=np.int64)
         terminal = src.copy()
         path_lists = [[int(s)] for s in src] if paths else None
+        lat = np.zeros(m, dtype=np.float64) if lat_state is not None else None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
         caug = self._positions(src).astype(_U64) << self.shift
         cur_dist = src ^ dest
         d = dest
@@ -620,6 +689,17 @@ class CompiledNetwork:
             np.copyto(cur_dist, d1, where=act)
             np.subtract(p1, pick2, out=p1)  # index of the chosen candidate
             self.cand_aug.take(p1, out=q)
+            if lat is not None:
+                # ``caug`` still holds the pre-step positions, ``q`` the
+                # chosen candidates'; accumulate before the in-place step,
+                # in hop order, into the full-length accumulator.
+                rows = np.flatnonzero(act)
+                orig = rows if sel is None else sel[rows]
+                prevp = (caug[rows] >> self.shift).astype(np.int64)
+                newp = (q[rows] >> self.shift).astype(np.int64)
+                lat[orig] += lhop2 + lmat[lr[prevp], lr[newp]].astype(
+                    np.float64
+                )
             np.copyto(caug, q, where=act)
             np.add(hops, act, out=hops)
             if path_lists is not None:
@@ -658,7 +738,7 @@ class CompiledNetwork:
         stuck = np.flatnonzero(~success)
         if stuck.size:
             success[stuck] = self._xor_closest(terminal[stuck], dest[stuck], None)
-        return self._result(src, dest, hops, terminal, success, path_lists)
+        return self._result(src, dest, hops, terminal, success, path_lists, lat)
 
     def _route_xor_alive(
         self,
@@ -666,6 +746,7 @@ class CompiledNetwork:
         dest: np.ndarray,
         alive_arr: np.ndarray,
         paths: bool,
+        lat_state=None,
     ) -> BatchResult:
         """Filtered XOR loop: per-hop segment scan over the frontier."""
         m = src.size
@@ -674,6 +755,9 @@ class CompiledNetwork:
         success = np.zeros(m, dtype=bool)
         terminal = cur.copy()
         path_lists = [[int(s)] for s in src] if paths else None
+        lat = np.zeros(m, dtype=np.float64) if lat_state is not None else None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
         active = np.arange(m, dtype=np.int64)
         for _ in range(MAX_HOPS + 1):
             if active.size == 0:
@@ -700,6 +784,10 @@ class CompiledNetwork:
             adv = active[has_step]
             if adv.size:
                 new_pos = nxt[has_step]
+                if lat is not None:
+                    lat[adv] += lhop2 + lmat[
+                        lr[cur[adv]], lr[new_pos]
+                    ].astype(np.float64)
                 cur[adv] = new_pos
                 hops[adv] += 1
                 if path_lists is not None:
@@ -710,7 +798,9 @@ class CompiledNetwork:
             raise RuntimeError(
                 f"routing exceeded {MAX_HOPS} hops: likely a broken network"
             )
-        return self._result(src, dest, hops, self.ids[terminal], success, path_lists)
+        return self._result(
+            src, dest, hops, self.ids[terminal], success, path_lists, lat
+        )
 
     def route(
         self,
@@ -718,12 +808,17 @@ class CompiledNetwork:
         dest_keys: Sequence[int],
         alive: Optional[Set[int]] = None,
         paths: bool = False,
+        latency: Optional["LatencyTable"] = None,
     ) -> BatchResult:
         """Route with the engine matching the network's declared metric."""
         if self.metric == "ring":
-            return self.route_ring(sources, dest_keys, alive=alive, paths=paths)
+            return self.route_ring(
+                sources, dest_keys, alive=alive, paths=paths, latency=latency
+            )
         if self.metric == "xor":
-            return self.route_xor(sources, dest_keys, alive=alive, paths=paths)
+            return self.route_xor(
+                sources, dest_keys, alive=alive, paths=paths, latency=latency
+            )
         raise ValueError(f"unknown metric {self.metric!r}")
 
     def _result(
@@ -734,6 +829,7 @@ class CompiledNetwork:
         terminal: np.ndarray,
         success: np.ndarray,
         path_lists: Optional[List[List[int]]],
+        latency_ms: Optional[np.ndarray] = None,
     ) -> BatchResult:
         registry = obs_metrics.active_registry()
         if registry is not None:
@@ -746,6 +842,7 @@ class CompiledNetwork:
             terminals=terminal,
             success=success,
             paths=path_lists,
+            latency_ms=latency_ms,
         )
 
 
@@ -796,11 +893,14 @@ def batch_route_ring(
     pairs: Sequence[Tuple[int, int]],
     alive: Optional[Set[int]] = None,
     paths: bool = False,
+    latency: Optional["LatencyTable"] = None,
 ) -> BatchResult:
     """Batch :func:`~repro.core.routing.route_ring` over (src, key) pairs."""
     srcs = [p[0] for p in pairs]
     dests = [p[1] for p in pairs]
-    return compile_network(network).route_ring(srcs, dests, alive=alive, paths=paths)
+    return compile_network(network).route_ring(
+        srcs, dests, alive=alive, paths=paths, latency=latency
+    )
 
 
 def batch_route_xor(
@@ -808,11 +908,14 @@ def batch_route_xor(
     pairs: Sequence[Tuple[int, int]],
     alive: Optional[Set[int]] = None,
     paths: bool = False,
+    latency: Optional["LatencyTable"] = None,
 ) -> BatchResult:
     """Batch :func:`~repro.core.routing.route_xor` over (src, key) pairs."""
     srcs = [p[0] for p in pairs]
     dests = [p[1] for p in pairs]
-    return compile_network(network).route_xor(srcs, dests, alive=alive, paths=paths)
+    return compile_network(network).route_xor(
+        srcs, dests, alive=alive, paths=paths, latency=latency
+    )
 
 
 def batch_route(
@@ -820,8 +923,11 @@ def batch_route(
     pairs: Sequence[Tuple[int, int]],
     alive: Optional[Set[int]] = None,
     paths: bool = False,
+    latency: Optional["LatencyTable"] = None,
 ) -> BatchResult:
     """Batch :func:`~repro.core.routing.route`: engine picked by metric."""
     srcs = [p[0] for p in pairs]
     dests = [p[1] for p in pairs]
-    return compile_network(network).route(srcs, dests, alive=alive, paths=paths)
+    return compile_network(network).route(
+        srcs, dests, alive=alive, paths=paths, latency=latency
+    )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.hierarchy import DomainPath
+from ..core.hierarchy import DomainPath, lca as _lca
 from .protocol import SimulatedCrescendo
 
 
@@ -44,6 +44,11 @@ class ChurnReport:
     lookup_messages: int = 0
     final_population: int = 0
     converged_to_oracle: bool = False
+    #: Per delivered lookup: end-to-end latency (ms) and the hierarchy
+    #: level of the source/terminal lowest common domain.  Populated only
+    #: when :func:`run_churn` is given a latency oracle.
+    lookup_ms: List[float] = field(default_factory=list)
+    lookup_levels: List[int] = field(default_factory=list)
 
     @property
     def delivery_rate(self) -> float:
@@ -51,12 +56,28 @@ class ChurnReport:
             return 1.0
         return self.lookups_delivered / self.lookups_attempted
 
+    def latency_quantile(self, q: float) -> float:
+        """Quantile of the delivered-lookup latencies (0.0 without data)."""
+        from ..obs.quantiles import percentile
+
+        return percentile(sorted(self.lookup_ms), q)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_quantile(0.99)
+
 
 def run_churn(
     net: SimulatedCrescendo,
     rng,
     domain_paths: Sequence[DomainPath],
     config: ChurnConfig = ChurnConfig(),
+    latency: Optional[Callable[[int, int], float]] = None,
+    attach: Optional[Callable[[int], None]] = None,
 ) -> ChurnReport:
     """Run an interleaved churn schedule; the network must be non-empty.
 
@@ -64,10 +85,23 @@ def run_churn(
     onto the virtual clock uniformly over ``config.duration``.  Lookups are
     only counted against nodes alive at lookup time; a lookup is *delivered*
     when it terminates at the live node responsible for the key.
+
+    ``latency`` turns on latency accounting: per delivered lookup, the
+    end-to-end milliseconds of its hop path land in
+    :attr:`ChurnReport.lookup_ms` (and ``slo.*``-style level tags in
+    :attr:`ChurnReport.lookup_levels` — the depth of the source/terminal
+    lowest common domain).  Pass a
+    :class:`~repro.perf.latency.LatencyTable` to accumulate each path with
+    one vectorized gather instead of a Python call per hop, or any
+    ``(a, b) -> ms`` callable for the scalar fold — the totals are
+    bit-identical either way.  ``attach`` is called with each joining node
+    id *before* the join, so a topology latency oracle can attach nodes
+    that enter after the initial population.
     """
     if not net.nodes:
         raise ValueError("bootstrap the network before running churn")
     report = ChurnReport()
+    path_ms = getattr(latency, "path_ms", None)
 
     events: List[Tuple[float, int, str]] = []
     for kind, count in (
@@ -88,6 +122,8 @@ def run_churn(
             while new_id in net.nodes:
                 new_id = net.space.random_id(rng)
             path = domain_paths[rng.randrange(len(domain_paths))]
+            if attach is not None:
+                attach(new_id)
             report.join_messages += net.join(new_id, path)
         elif kind == "leave" and len(live) > 2:
             report.leave_messages += net.leave(rng.choice(live))
@@ -103,6 +139,16 @@ def run_churn(
             report.lookup_messages += net.msgs.stats.counts["lookup"] - before
             report.lookups_attempted += 1
             report.lookups_delivered += bool(result.success)
+            if latency is not None and result.success:
+                report.lookup_ms.append(
+                    path_ms(result.path)
+                    if path_ms is not None
+                    else result.latency(latency)
+                )
+                terminal = result.path[-1]
+                report.lookup_levels.append(
+                    len(_lca(net.nodes[src].path, net.nodes[terminal].path))
+                )
 
     try:
         net.stabilize_to_convergence()
@@ -155,6 +201,10 @@ class ScheduleReport:
     #: Per-lookup (delivered, terminal-node) outcomes in schedule order —
     #: the observable the engine-equivalence oracle compares verbatim.
     lookup_outcomes: List[Tuple[bool, int]] = field(default_factory=list)
+    #: Per-lookup hop paths in schedule order: the substrate of the
+    #: oracle's latency-equivalence check (identical paths across engines
+    #: imply identical latency totals; both are asserted).
+    lookup_paths: List[List[int]] = field(default_factory=list)
 
 
 def run_schedule(
@@ -201,6 +251,7 @@ def run_schedule(
                 report.lookup_outcomes.append(
                     (bool(result.success), result.path[-1])
                 )
+                report.lookup_paths.append(list(result.path))
         elif event.kind == "stabilize":
             net.stabilize()
             report.stabilize_rounds += 1

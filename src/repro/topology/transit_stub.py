@@ -26,6 +26,7 @@ from scipy.sparse.csgraph import shortest_path
 
 from ..core.hierarchy import DomainPath, Hierarchy
 from ..core.idspace import IdSpace
+from ..obs import metrics as obs_metrics
 
 TRANSIT_TRANSIT_MS = 100.0
 TRANSIT_STUB_MS = 20.0
@@ -78,6 +79,12 @@ class TransitStubTopology:
         self._build_graph()
         self._latency = self._all_pairs_latency()
         self._attachment: Dict[int, int] = {}
+        self._latency_table = None  # lazy LatencyTable, dropped on attach
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.gauge("topology.latency_matrix_bytes").set(
+                self._latency.nbytes
+            )
 
     # ------------------------------------------------------------- building
 
@@ -143,7 +150,11 @@ class TransitStubTopology:
 
     @property
     def stub_routers(self) -> List[int]:
-        return sorted(self.stub_location)
+        # stub_location is fixed after _build_graph, so sort once.
+        cached = self.__dict__.get("_stub_routers")
+        if cached is None:
+            cached = self.__dict__["_stub_routers"] = sorted(self.stub_location)
+        return cached
 
     def router_latency(self, a: int, b: int) -> float:
         """Shortest-path latency between two routers (ms)."""
@@ -160,26 +171,71 @@ class TransitStubTopology:
         stub-node levels.
         """
         rng = rng if rng is not None else self.rng
-        stubs = self.stub_routers
         hierarchy = Hierarchy()
         for node_id in node_ids:
-            router = stubs[rng.randrange(len(stubs))]
-            self._attachment[node_id] = router
-            td, tn, sd, sn = self.stub_location[router]
-            path: DomainPath = (f"t{td}", f"n{tn}", f"s{sd}", f"r{sn}")
-            hierarchy.place(node_id, path)
+            hierarchy.place(node_id, self.attach_node(node_id, rng))
         return hierarchy
+
+    def attach_node(self, node_id: int, rng=None) -> DomainPath:
+        """Attach one DHT node to a uniform random stub router.
+
+        Returns the node's domain path; used by churn drivers to attach
+        nodes that join after the initial population.  Draws exactly the
+        randomness one :meth:`attach_nodes` iteration draws.
+        """
+        rng = rng if rng is not None else self.rng
+        stubs = self.stub_routers
+        router = stubs[rng.randrange(len(stubs))]
+        self._attachment[node_id] = router
+        self._latency_table = None
+        td, tn, sd, sn = self.stub_location[router]
+        path: DomainPath = (f"t{td}", f"n{tn}", f"s{sd}", f"r{sn}")
+        return path
 
     def router_of(self, node_id: int) -> int:
         """The stub router a DHT node is attached to."""
-        return self._attachment[node_id]
+        try:
+            return self._attachment[node_id]
+        except KeyError:
+            raise KeyError(
+                f"node {node_id} is not attached to this topology "
+                f"(call attach_nodes/attach_node first; "
+                f"{len(self._attachment)} nodes are attached)"
+            ) from None
 
     def node_latency(self, a: int, b: int) -> float:
         """End-to-end latency between two attached DHT nodes (ms)."""
         if a == b:
             return 0.0
-        ra, rb = self._attachment[a], self._attachment[b]
+        ra, rb = self.router_of(a), self.router_of(b)
         return 2 * HOST_STUB_MS + float(self._latency[ra, rb])
+
+    def latency_table(self, node_ids: Optional[Sequence[int]] = None):
+        """A :class:`repro.perf.latency.LatencyTable` over the attachment.
+
+        With no ``node_ids`` the table covers every attached node and is
+        cached until the next attachment; the batch routing kernels and
+        the measurement harness use it to accumulate per-hop latency with
+        vectorized gathers instead of one :meth:`node_latency` call per
+        hop (totals stay bit-identical — see :mod:`repro.perf.latency`).
+        """
+        from ..perf.latency import LatencyTable
+
+        if node_ids is not None:
+            return LatencyTable.from_topology(self, node_ids)
+        if self._latency_table is None:
+            self._latency_table = LatencyTable.from_topology(self)
+        return self._latency_table
+
+    def path_ms(self, path: Sequence[int]) -> float:
+        """Latency of a hop path over the *current* attachment.
+
+        Delegates to the cached latency table (rebuilt after attachments),
+        so churn drivers can hand the topology itself to
+        :func:`repro.simulation.churn.run_churn` as the latency oracle and
+        keep vectorized accumulation while nodes join dynamically.
+        """
+        return self.latency_table().path_ms(path)
 
     def average_direct_latency(self, samples: int, rng=None) -> float:
         """Mean node-to-node shortest-path latency over random pairs.

@@ -40,6 +40,7 @@ from ..core.network import DHTNetwork, LinkTableError
 from ..core.routing import route
 from ..obs import metrics as obs_metrics
 from ..perf.kernels import batch_route
+from ..perf.latency import LatencyTable
 from ..simulation.churn import Event, ScheduleReport, run_schedule
 from ..simulation.protocol import SimulatedCrescendo
 from .violations import InvariantViolationError, Violation
@@ -240,6 +241,7 @@ def compare_protocols(
     factory: Callable[[str], SimulatedCrescendo],
     events: Sequence[Event],
     max_reported: int = 20,
+    latency: Optional[LatencyTable] = None,
 ) -> ProtocolComparison:
     """Replay one schedule through both maintenance engines and compare.
 
@@ -248,10 +250,15 @@ def compare_protocols(
     via :func:`~repro.simulation.churn.run_schedule`.  Equivalence demands:
 
     - identical replay reports, including every per-lookup
-      (delivered, terminal node) outcome;
+      (delivered, terminal node) outcome and hop path;
     - identical per-kind protocol message counts;
     - identical final protocol state: live membership, link tables, and
-      per-level leaf sets and predecessor pointers.
+      per-level leaf sets and predecessor pointers;
+    - with a ``latency`` table (covering every id the schedule can
+      route through): bit-identical per-lookup latency totals, computing
+      the reference side with the scalar per-hop fold and the fast side
+      with the table's vectorized gather — the engine-parity contract of
+      the fused latency accumulator.
     """
     ref = factory("reference")
     fast = factory("fast")
@@ -277,6 +284,24 @@ def compare_protocols(
                     f"reference {ref_value!r} vs fast {fast_value!r}"
                 )
             )
+    if latency is not None:
+        for idx, (ref_path, fast_path) in enumerate(
+            zip(ref_report.lookup_paths, fast_report.lookup_paths)
+        ):
+            if ref_path != fast_path:
+                continue  # path divergence is already reported above
+            ref_ms = sum(
+                latency.node_latency(a, b)
+                for a, b in zip(ref_path, ref_path[1:])
+            )
+            fast_ms = latency.path_ms(fast_path)
+            if ref_ms != fast_ms:
+                out.append(
+                    violation(
+                        f"lookup {idx}: reference latency {ref_ms!r} ms vs "
+                        f"fast vectorized {fast_ms!r} ms"
+                    )
+                )
     ref_counts = dict(ref.msgs.stats.counts)
     fast_counts = dict(fast.msgs.stats.counts)
     for kind in sorted(set(ref_counts) | set(fast_counts)):
@@ -336,6 +361,7 @@ def compare_routing(
     pairs: Sequence[Tuple[int, int]],
     alive: Optional[Set[int]] = None,
     max_reported: int = 20,
+    latency: Optional["LatencyTable"] = None,
 ) -> List[Violation]:
     """Scalar engines vs. batch kernels on identical inputs, hop-for-hop.
 
@@ -343,13 +369,30 @@ def compare_routing(
     :func:`repro.core.routing.route` and through
     :func:`repro.perf.kernels.batch_route` (same optional alive-set) and
     reports any disagreement in success flag, terminal node or the exact
-    hop sequence.
+    hop sequence.  With a ``latency`` table, additionally demands that the
+    kernels' fused per-hop latency accumulator reproduces the scalar
+    ``Route.latency`` fold bit-for-bit on every route.
     """
     family = getattr(network, "family", "network")
     out: List[Violation] = []
-    batch = batch_route(network, pairs, alive=alive, paths=True)
+    batch = batch_route(network, pairs, alive=alive, paths=True, latency=latency)
     for idx, ((src, key), fast) in enumerate(zip(pairs, batch.routes())):
         slow = route(network, src, key, alive=alive)
+        if latency is not None and slow.path == fast.path:
+            slow_ms = slow.latency(latency.node_latency)
+            fast_ms = float(batch.latency_ms[idx])
+            if slow_ms != fast_ms:
+                out.append(
+                    Violation(
+                        check="oracle-routing",
+                        family=family,
+                        message=(
+                            f"route {src}->{key}: scalar latency {slow_ms!r} ms "
+                            f"but batch accumulated {fast_ms!r} ms"
+                        ),
+                        node=src,
+                    )
+                )
         if slow.success != fast.success:
             out.append(
                 Violation(

@@ -1,0 +1,130 @@
+"""Trace parity: FastSimulator emits the reference engine's event records.
+
+The fast engine buffers per-event trace records and flushes them as one
+batch per drain (one lock round-trip instead of one per event), but the
+*content* — the ``sim.event`` sequence with virtual-time ``t`` and
+``action`` attrs — must be exactly what the reference heap emits, so
+``--trace`` output is engine-independent.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Tracer, tracing
+from repro.simulation.events import ConstantLatency, FastSimulator, Simulator
+
+
+def drive(sim):
+    """A deterministic mixed workload: closures, posts, nested schedules."""
+    log = []
+
+    def ping(i):
+        log.append(("ping", i))
+
+    def make_cascade(depth):
+        def cascade():
+            log.append(("cascade", depth))
+            if depth:
+                sim.schedule(0.5, make_cascade(depth - 1))
+
+        return cascade
+
+    sim.on("ping", ping)
+    for i in range(5):
+        sim.post(float(i % 3), "ping", i)
+    sim.schedule(1.25, make_cascade(3))
+    sim.run()
+    sim.post(0.0, "ping", 99)
+    sim.run()  # a second drain: buffered records must flush per drain
+    return log
+
+
+def sim_events(tracer):
+    return [
+        (r["attrs"]["t"], r["attrs"]["action"])
+        for r in tracer.records
+        if r.get("name") == "sim.event"
+    ]
+
+
+def test_fast_simulator_traces_match_reference():
+    ref_tracer, fast_tracer = Tracer(), Tracer()
+    ref_log = drive(Simulator(tracer=ref_tracer))
+    fast_log = drive(FastSimulator(tracer=fast_tracer))
+    assert ref_log == fast_log  # behavior parity first
+    ref_events = sim_events(ref_tracer)
+    fast_events = sim_events(fast_tracer)
+    assert ref_events == fast_events
+    assert len(ref_events) == len(ref_log)
+
+
+def test_fast_simulator_picks_up_active_tracer():
+    with tracing() as tracer:
+        sim = FastSimulator()
+        sim.on("tick", lambda: None)
+        sim.post(0.0, "tick")
+        sim.run()
+    events = sim_events(tracer)
+    assert events == [(0.0, "tick")]
+
+
+def test_no_tracer_no_buffering():
+    sim = FastSimulator()
+    sim.on("tick", lambda: None)
+    for _ in range(10):
+        sim.post(0.0, "tick")
+    assert sim.run() == 10
+    assert sim._trace_buffer == []
+
+
+def test_closure_actions_get_qualified_names():
+    with tracing() as tracer:
+        sim = FastSimulator()
+
+        def my_action():
+            pass
+
+        sim.schedule(0.0, my_action)
+        sim.run()
+    (event,) = sim_events(tracer)
+    assert "my_action" in event[1]
+
+
+def test_events_many_shares_parent_span():
+    tracer = Tracer()
+    with tracer.span("drain"):
+        tracer.events_many("sim.event", [{"t": 0.0}, {"t": 1.0}])
+    children = [r for r in tracer.records if r.get("name") == "sim.event"]
+    assert len(children) == 2
+    assert all(c["parent"] == "drain" for c in children)
+    # One shared wall-clock timestamp per batch, by design.
+    assert children[0]["ts"] == children[1]["ts"]
+
+
+def test_message_layer_trace_parity():
+    """Messages delivered through either queue backend trace identically."""
+    from repro.simulation.events import MessageLayer
+
+    def run(sim_cls):
+        delivered = []
+        with tracing() as tracer:
+            sim = sim_cls()
+            msgs = MessageLayer(sim, ConstantLatency(2.0))
+
+            def deliver(src, dst):
+                delivered.append((src, dst))
+                if len(delivered) < 8:  # each delivery triggers a forward
+                    msgs.send(dst, dst + 1, "forward", make(dst, dst + 1))
+
+            def make(src, dst):
+                return lambda: deliver(src, dst)
+
+            msgs.send(0, 1, "lookup", make(0, 1))
+            sim.run()
+        return delivered, dict(msgs.stats.counts), sim_events(tracer)
+
+    ref_delivered, ref_counts, ref_events = run(Simulator)
+    fast_delivered, fast_counts, fast_events = run(FastSimulator)
+    assert ref_delivered == fast_delivered
+    assert ref_counts == fast_counts == {"lookup": 1, "forward": 7}
+    assert ref_events == fast_events
+    assert len(ref_events) == 8
