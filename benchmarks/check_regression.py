@@ -9,7 +9,12 @@ numeric leaf of the fresh document against the checked-in ``BENCH_*.json``:
   absorbs JSON round-tripping);
 - **timing** metrics (``*_seconds``, ``*_per_s``, ``speedup`` — wall-clock,
   machine-dependent) are compared at ``--timing-tol`` relative tolerance
-  (default 0.5) and reported, but never fail the gate on their own.
+  (default 0.5) and reported, but never fail the gate on their own;
+- **memory** metrics split the same way: ``*arena_bytes`` (the exact size
+  of a workload's shared-memory arena — a pure function of the network
+  and the dtype-minimization rules) must match with tolerance 0 and
+  gates like a deterministic metric, while ``*rss_bytes`` (allocator- and
+  OS-dependent) reports at the timing tolerance and never gates.
 
 By default only the latency baseline is re-recorded (it finishes in
 seconds); ``--baseline churn`` etc. opt into the slower ones.  Output is a
@@ -50,10 +55,27 @@ BASELINES = {
 #: Leaf-key suffixes whose values are wall-clock measurements.
 TIMING_MARKERS = ("_seconds", "_per_s", "speedup", "_us")
 
+#: Memory leaves: arena sizes are deterministic (tolerance 0, gating);
+#: RSS readings are allocator/OS noise (timing tolerance, never gate).
+MEMORY_EXACT_MARKER = "arena_bytes"
+MEMORY_NOISY_MARKER = "rss_bytes"
+
 
 def is_timing(path: str) -> bool:
     leaf = path.rsplit(".", 1)[-1]
     return any(leaf.endswith(marker) or leaf == marker.strip("_") for marker in TIMING_MARKERS)
+
+
+def metric_kind(path: str) -> str:
+    """Classify a dotted leaf path: memory / rss / timing / deterministic."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith(MEMORY_EXACT_MARKER):
+        return "memory"
+    if leaf.endswith(MEMORY_NOISY_MARKER):
+        return "rss"
+    if is_timing(path):
+        return "timing"
+    return "deterministic"
 
 
 def numeric_leaves(doc, prefix=""):
@@ -87,13 +109,15 @@ def compare(name: str, baseline: dict, fresh: dict, exact_tol: float, timing_tol
         if old is None or new is None:
             rows.append((path, old, new, math.inf, "missing", False))
             continue
-        timing = is_timing(path)
+        kind = metric_kind(path)
         delta = rel_delta(old, new)
-        tol = timing_tol if timing else exact_tol
+        tol = {
+            "timing": timing_tol,
+            "rss": timing_tol,
+            "memory": 0.0,
+        }.get(kind, exact_tol)
         if delta > tol:
-            rows.append(
-                (path, old, new, delta, "timing" if timing else "deterministic", False)
-            )
+            rows.append((path, old, new, delta, kind, False))
     return rows
 
 
@@ -178,7 +202,7 @@ def main(argv=None) -> int:
         baseline = json.loads(baseline_path.read_text())
         fresh = rerecord(name)
         rows = compare(name, baseline, fresh, args.exact_tol, args.timing_tol)
-        gating = [r for r in rows if r[4] in ("deterministic", "missing")]
+        gating = [r for r in rows if r[4] in ("deterministic", "memory", "missing")]
         results.append((name, rows, gating))
         if gating and args.strict:
             exit_code = 1

@@ -18,6 +18,17 @@ else builds at the full ``--size``.  The checked-in ``BENCH_build.json``
 is the reference point for the bulk-construction fast path (see
 ``docs/performance.md``); CI re-records it at small scale on every push
 as a non-gating artifact.
+
+Each family row also records ``arena_bytes`` — the exact size of the
+single shared-memory block its compiled routing state occupies under
+:mod:`repro.perf.arena` (deterministic: a pure function of the network,
+so the regression gate holds it to tolerance 0).  Unless ``--stream-size
+0``, the recorder then exercises the streaming construction path
+(:func:`repro.perf.build.stream_compiled_crescendo`): a Crescendo of
+``--stream-size`` nodes (default 2^20) built straight into CSR arrays
+with no Python node/link objects, exported to an arena, and served a
+routing batch — with build time, arena bytes and peak RSS recorded under
+``"streaming"`` and summarized in the top-level ``"memory_bytes"``.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import argparse
 import json
 import platform
 import random
+import resource
 import sys
 import time
 from pathlib import Path
@@ -45,9 +57,27 @@ from repro.dhts.mixed import LanCrescendoNetwork  # noqa: E402
 from repro.dhts.naive import NaiveHierarchicalChord  # noqa: E402
 from repro.dhts.ndchord import NDChordNetwork, NDCrescendoNetwork  # noqa: E402
 from repro.dhts.symphony import SymphonyNetwork  # noqa: E402
+from repro.analysis.metrics import sample_routing_compiled  # noqa: E402
 from repro.experiments.common import FANOUT, ZIPF_EXPONENT  # noqa: E402
+from repro.perf.arena import export_network  # noqa: E402
+from repro.perf.build import stream_compiled_crescendo  # noqa: E402
+from repro.perf.kernels import compile_network  # noqa: E402
 
 LEVELS = 3
+
+
+def peak_rss_bytes():
+    """The process's peak resident set so far (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def arena_bytes_of(network):
+    """Size of the one shared-memory block ``network``'s compiled state needs."""
+    owner = export_network(compile_network(network), label="bench")
+    try:
+        return owner.nbytes
+    finally:
+        owner.dispose()
 
 
 def best_of(fn, repeats):
@@ -174,6 +204,7 @@ def bench_builds(size, repeats):
         assert ref.built_with == "python", f"{name}: reference took the bulk path"
         assert bulk.built_with == "numpy", f"{name}: bulk fell back to reference"
         validate(ref, bulk)
+        arena = arena_bytes_of(bulk)
         out[name] = {
             "nodes": nodes,
             "reference_seconds": ref_s,
@@ -181,12 +212,48 @@ def bench_builds(size, repeats):
             "speedup": ref_s / bulk_s,
             "reference_nodes_per_s": nodes / ref_s,
             "bulk_nodes_per_s": nodes / bulk_s,
+            "arena_bytes": arena,
         }
         print(
             f"{name:12s} n={nodes:6d}  reference {ref_s * 1e3:8.1f}ms  "
-            f"bulk {bulk_s * 1e3:8.1f}ms  ({ref_s / bulk_s:.1f}x)"
+            f"bulk {bulk_s * 1e3:8.1f}ms  ({ref_s / bulk_s:.1f}x)  "
+            f"arena {arena / 1e6:.1f}MB"
         )
     return out
+
+
+def bench_streaming(size, levels, samples):
+    """One streaming build + arena export + routing point at ``size`` nodes."""
+    rng = random.Random(f"bench-stream:{size}:{levels}")
+    start = time.perf_counter()
+    compiled, top = stream_compiled_crescendo(size, levels, rng)
+    build_s = time.perf_counter() - start
+    owner = export_network(compiled, top_domain=top, label="bench-stream")
+    try:
+        start = time.perf_counter()
+        stats = sample_routing_compiled(compiled, rng, samples=samples)
+        route_s = time.perf_counter() - start
+        row = {
+            "nodes": size,
+            "levels": levels,
+            "build_seconds": build_s,
+            "build_nodes_per_s": size / build_s,
+            "route_samples": samples,
+            "route_seconds": route_s,
+            "mean_hops": stats.mean_hops,
+            "success_rate": stats.success_rate,
+            "arena_bytes": owner.nbytes,
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+    finally:
+        owner.dispose()
+    print(
+        f"{'streaming':12s} n={size:7d}  build {build_s:6.1f}s  "
+        f"route {samples} in {route_s:.1f}s (mean {stats.mean_hops:.2f} hops)  "
+        f"arena {row['arena_bytes'] / 1e6:.1f}MB  "
+        f"peak rss {row['peak_rss_bytes'] / 1e6:.0f}MB"
+    )
+    return row
 
 
 def main(argv=None):
@@ -206,6 +273,25 @@ def main(argv=None):
     parser.add_argument(
         "--repeats", type=int, default=3, help="timed builds per measurement (best-of)"
     )
+    parser.add_argument(
+        "--stream-size",
+        type=int,
+        default=1 << 20,
+        help="node count for the streaming-construction measurement "
+        "(default 2^20; 0 disables it)",
+    )
+    parser.add_argument(
+        "--stream-levels",
+        type=int,
+        default=3,
+        help="hierarchy depth for the streaming measurement (default 3)",
+    )
+    parser.add_argument(
+        "--stream-samples",
+        type=int,
+        default=2000,
+        help="routing samples taken on the streamed network (default 2000)",
+    )
     args = parser.parse_args(argv)
 
     doc = {
@@ -217,6 +303,16 @@ def main(argv=None):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "build": bench_builds(args.size, args.repeats),
+    }
+    arena_total = sum(row["arena_bytes"] for row in doc["build"].values())
+    if args.stream_size:
+        doc["streaming"] = bench_streaming(
+            args.stream_size, args.stream_levels, args.stream_samples
+        )
+        arena_total += doc["streaming"]["arena_bytes"]
+    doc["memory_bytes"] = {
+        "arena_bytes": arena_total,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)

@@ -20,6 +20,15 @@ to the plain implementations they accelerate:
   process-wide :func:`~repro.perf.build.set_build_mode` override); the
   scalar constructions in :mod:`repro.dhts` remain the cross-checked
   reference.
+- :mod:`repro.perf.arena` — zero-copy shared-memory arenas: a compiled
+  network's CSR arrays (plus ring/xor routing tables, top-level-domain
+  codes and the transit-stub latency table) laid out once in a single
+  :class:`multiprocessing.shared_memory.SharedMemory` block that grid
+  workers attach to read-only, so million-node experiment grids fit on
+  one machine; see :meth:`CompiledNetwork.to_arena` /
+  :meth:`CompiledNetwork.from_arena` and the streaming constructors in
+  :mod:`repro.perf.build` (``stream_compiled_crescendo``) that emit CSR
+  arrays directly without ever materializing Python node/link objects.
 - :mod:`repro.perf.dynamic` — the fast dynamic-maintenance engine:
   array-backed membership state (:class:`~repro.perf.dynamic.NodeArena`),
   batched stabilization with quiescent-ring memoization, and bisect-based
@@ -33,6 +42,18 @@ See ``docs/performance.md`` for the layout, invalidation rules and
 benchmark methodology.
 """
 
+from .arena import (
+    Arena,
+    ArenaManifest,
+    NetworkView,
+    attach_network,
+    default_enabled,
+    export_latency_matrix,
+    export_network,
+    live_arena_bytes,
+    set_default_arena,
+    top_domain_codes,
+)
 from .build import (
     BUILDER_VERSION,
     builder_tag,
@@ -40,6 +61,8 @@ from .build import (
     derive_generator,
     get_build_mode,
     set_build_mode,
+    stream_compiled_crescendo,
+    stream_crescendo_csr,
 )
 from .cache import (
     NetworkCache,
@@ -76,14 +99,18 @@ from .kernels import (
 )
 
 __all__ = [
+    "Arena",
+    "ArenaManifest",
     "BUILDER_VERSION",
     "BatchResult",
     "CompiledNetwork",
     "ENGINE_MODES",
     "FastSimulatedCrescendo",
     "NetworkCache",
+    "NetworkView",
     "NodeArena",
     "active_cache",
+    "attach_network",
     "batch_route",
     "batch_route_ring",
     "batch_route_xor",
@@ -92,19 +119,27 @@ __all__ = [
     "caching",
     "compile_network",
     "default_cache_dir",
+    "default_enabled",
     "derive_generator",
     "disable",
     "enable",
+    "export_latency_matrix",
+    "export_network",
     "get_build_mode",
     "get_default_jobs",
     "get_engine_mode",
     "install_network",
+    "live_arena_bytes",
     "make_protocol",
     "map_points",
     "network_payload",
     "resolve_engine",
     "resolve_jobs",
     "set_build_mode",
+    "set_default_arena",
     "set_default_jobs",
     "set_engine_mode",
+    "stream_compiled_crescendo",
+    "stream_crescendo_csr",
+    "top_domain_codes",
 ]

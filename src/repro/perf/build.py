@@ -59,6 +59,7 @@ __all__ = [
     "cancan_link_sets",
     "derive_generator",
     "get_build_mode",
+    "hierarchy_codes",
     "kademlia_link_sets",
     "kandy_link_sets",
     "lan_crescendo_link_sets",
@@ -66,6 +67,10 @@ __all__ = [
     "ndchord_link_sets",
     "ndcrescendo_link_sets",
     "set_build_mode",
+    "stream_compiled_crescendo",
+    "stream_crescendo_csr",
+    "stream_crescendo_ids",
+    "stream_hierarchy_codes",
     "symphony_link_sets",
 ]
 
@@ -766,3 +771,252 @@ def naive_link_sets(
         for node, row in zip(members, succ.tolist()):
             out[node].update(row)  # self-links dropped by _finalize_links
     return out
+
+
+# ----------------------------------------------------- streaming construction
+
+
+def hierarchy_codes(hierarchy: Hierarchy, node_ids: Sequence[int]) -> np.ndarray:
+    """Per-node integer domain labels, one column per hierarchy level.
+
+    Converts a uniform-depth :class:`Hierarchy` (every node's path has the
+    same length, as :func:`repro.core.hierarchy.build_uniform_hierarchy`
+    produces) into the dense ``(n, depth)`` code matrix the streaming
+    builder consumes: column ``j`` maps level-``j`` labels to consecutive
+    integers via a per-level vocabulary, so equal code prefixes correspond
+    exactly to equal domain-path prefixes.
+    """
+    paths = [hierarchy.path_of(node) for node in node_ids]
+    depth = len(paths[0]) if paths else 0
+    if any(len(p) != depth for p in paths):
+        raise ValueError("streaming builder requires a uniform-depth hierarchy")
+    codes = np.zeros((len(paths), depth), dtype=np.int32)
+    for j in range(depth):
+        vocab: Dict[str, int] = {}
+        col = codes[:, j]
+        for i, path in enumerate(paths):
+            col[i] = vocab.setdefault(path[j], len(vocab))
+    return codes
+
+
+def stream_crescendo_ids(
+    n: int, rng, bits: int = 32
+) -> np.ndarray:
+    """``n`` distinct sorted uint64 ids drawn without Python-object nodes.
+
+    The rejection top-up mirrors :meth:`IdSpace.random_ids`' distinctness
+    guarantee (not its draw sequence — streaming uses a numpy generator
+    derived from ``rng``), then a no-replacement choice removes the
+    low-id bias a plain truncation of ``unique`` would introduce.
+    """
+    gen = derive_generator(rng)
+    size = 1 << bits
+    if n > size:
+        raise ValueError(f"cannot draw {n} distinct ids from a {bits}-bit space")
+    draw = int(n + max(16, n // 8))
+    uniq = np.unique(gen.integers(0, size, size=draw, dtype=np.uint64))
+    while uniq.size < n:
+        extra = gen.integers(0, size, size=draw, dtype=np.uint64)
+        uniq = np.unique(np.concatenate([uniq, extra]))
+    if uniq.size > n:
+        uniq = np.sort(gen.choice(uniq, size=n, replace=False))
+    return uniq
+
+
+def stream_hierarchy_codes(
+    n: int,
+    levels: int,
+    gen: np.random.Generator,
+    fanout: int = 10,
+    zipf_exponent: float = 1.25,
+) -> np.ndarray:
+    """Vectorized twin of ``build_uniform_hierarchy``'s label draws.
+
+    Each of the ``levels - 1`` columns draws from the same Zipf weight
+    vector the scalar placement uses
+    (:func:`repro.core.hierarchy.zipf_weights`), via one inverse-CDF
+    ``searchsorted`` per level instead of ``n * levels`` scalar scans.
+    """
+    from ..core.hierarchy import zipf_weights
+
+    depth = max(0, levels - 1)
+    codes = np.zeros((n, depth), dtype=np.int32)
+    if depth:
+        cdf = np.cumsum(np.asarray(zipf_weights(fanout, zipf_exponent)))
+        for j in range(depth):
+            u = gen.random(n)
+            codes[:, j] = np.searchsorted(cdf, u, side="right").astype(np.int32)
+        np.minimum(codes, fanout - 1, out=codes)  # guard cdf rounding at 1.0
+    return codes
+
+
+def stream_crescendo_csr(
+    ids: np.ndarray, codes: np.ndarray, space: IdSpace
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Crescendo link tables straight to CSR — no per-node Python objects.
+
+    Replays the exact deepest-first Canon construction of
+    :meth:`repro.dhts.crescendo.CrescendoNetwork.build` over array form:
+    at the leaf depth every domain ring takes full Chord fingers over its
+    members; at every shallower depth the per-node merge rule keeps a
+    union finger iff its clockwise distance beats the node's own-ring gap
+    (conditions (a)+(b), with gaps updated from each depth's rings).  For
+    the uniform-depth hierarchies the code matrix encodes, the resulting
+    ``(indptr, neighbors, nbr_pos)`` is **identical** to compiling the
+    bulk-built network — same per-node sorted neighbor lists — which is
+    what lets a 2**20-node grid point skip ~10 GB of Python link tables.
+
+    Work per depth is one composite-key sort plus ``bits`` searchsorted
+    sweeps (merge depths stop at the largest relevant finger), so peak
+    memory is a handful of length-``n``/``E`` arrays.
+    """
+    ids = np.ascontiguousarray(ids, dtype=np.uint64)
+    n = int(ids.size)
+    if n == 0:
+        raise ValueError("cannot stream an empty network")
+    if np.any(ids[1:] <= ids[:-1]):
+        raise ValueError("ids must be sorted and distinct")
+    depth = int(codes.shape[1]) if codes.ndim == 2 else 0
+    bits = space.bits
+    mask = np.uint64((1 << bits) - 1)
+    full = np.uint64(space.size)
+    gap = np.full(n, full, dtype=np.uint64)
+    srcs: List[np.ndarray] = []
+    dsts: List[np.ndarray] = []
+
+    for d in range(depth, -1, -1):
+        # Composite sort key: depth-d domain prefix above the id bits, so
+        # each domain is a contiguous run with ids ascending inside it.
+        if d:
+            radices = codes[:, :d].max(axis=0).astype(np.uint64) + np.uint64(1)
+            key = np.zeros(n, dtype=np.uint64)
+            for j in range(d):
+                key = key * radices[j] + codes[:, j].astype(np.uint64)
+            key_span = int(np.prod(radices))
+            if key_span.bit_length() + bits > 64:
+                raise ValueError(
+                    f"domain keys need {key_span.bit_length()} bits over a "
+                    f"{bits}-bit id space; composite keys exceed 64 bits"
+                )
+            comp = (key << np.uint64(bits)) | ids
+            order = np.argsort(comp, kind="stable")
+            comp = comp[order]
+        else:
+            key = None
+            order = np.arange(n, dtype=np.int64)
+            comp = ids
+        sid = ids[order]
+        # Per-position segment bounds [lo, hi) of each node's domain run.
+        if key is not None:
+            ksorted = key[order]
+            bound = np.flatnonzero(ksorted[1:] != ksorted[:-1]) + 1
+            starts = np.concatenate([[0], bound])
+            ends = np.concatenate([bound, [n]])
+            seg_of = np.searchsorted(starts, np.arange(n), side="right") - 1
+            lo = starts[seg_of]
+            hi = ends[seg_of]
+        else:
+            lo = np.zeros(n, dtype=np.int64)
+            hi = np.full(n, n, dtype=np.int64)
+        leaf = d == depth
+        if leaf:
+            kmax = bits
+            active = np.arange(n, dtype=np.int64)
+        else:
+            gs = gap[order]
+            # Condition (a) caps useful fingers at 2**k < gap.
+            max_gap = int(gs.max())
+            kmax = min(bits, max(max_gap - 1, 1).bit_length())
+            active = np.flatnonzero(gs > np.uint64(1))
+        prefix = comp & ~mask
+        for k in range(kmax):
+            if not leaf:
+                act = active[gap[order[active]] > np.uint64(1 << k)]
+                if act.size == 0:
+                    break
+            else:
+                act = active
+            target = (sid[act] + np.uint64(1 << k)) & mask
+            idx = np.searchsorted(comp, prefix[act] | target, side="left")
+            wrap = idx == hi[act]
+            idx[wrap] = lo[act][wrap]
+            dist = (sid[idx] - sid[act]) & mask
+            keep = dist != np.uint64(0)
+            if not leaf:
+                keep &= dist < gap[order[act]]
+            kept = act[keep]
+            if kept.size:
+                srcs.append(order[kept].astype(np.uint32))
+                dsts.append(order[idx[keep]].astype(np.uint32))
+        # This depth's rings become each member's own ring for the merges
+        # above: gap = clockwise distance to the in-segment successor
+        # (wrapping to the segment start), or the whole space when alone.
+        nxt = np.arange(1, n + 1, dtype=np.int64)
+        at_end = nxt == hi
+        nxt[at_end] = lo[at_end]
+        ring_gap = (sid[nxt] - sid) & mask
+        single = hi - lo == 1
+        ring_gap[single] = full
+        gap[order] = ring_gap
+
+    if srcs:
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        edge = src.astype(np.uint64) * np.uint64(n) + dst.astype(np.uint64)
+        edge = np.unique(edge)
+        src = (edge // np.uint64(n)).astype(np.int64)
+        dst = edge % np.uint64(n)
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.uint64)
+    counts = np.bincount(src, minlength=n)
+    idx_dt = np.int32 if n < 2**31 and int(dst.size) < 2**31 else np.int64
+    indptr = np.zeros(n + 1, dtype=idx_dt)
+    np.cumsum(counts, out=indptr[1:])
+    neighbors = ids[dst.astype(np.int64)]
+    nbr_pos = dst.astype(idx_dt)
+    return indptr, neighbors, nbr_pos
+
+
+def stream_compiled_crescendo(
+    size: int,
+    levels: int,
+    rng,
+    space: Optional[IdSpace] = None,
+    fanout: int = 10,
+    zipf_exponent: float = 1.25,
+):
+    """Build a population directly into compiled CSR form.
+
+    Returns ``(compiled, top_codes)``: a routable
+    :class:`~repro.perf.kernels.CompiledNetwork` (``network`` is ``None``
+    — no Python node/link objects ever exist) plus the per-position
+    top-level-domain code column for crossing counts.  Ids and hierarchy
+    labels come from a generator derived from ``rng``, so populations are
+    reproducible per seed token (they are *not* draw-for-draw identical
+    to the scalar placement; equivalence to the object path is asserted
+    structurally by the oracle test, on shared ids/codes).
+    """
+    from .kernels import CompiledNetwork
+
+    space = space or IdSpace()
+    ids = stream_crescendo_ids(size, rng, bits=space.bits)
+    gen = derive_generator(rng)
+    codes = stream_hierarchy_codes(
+        size, levels, gen, fanout=fanout, zipf_exponent=zipf_exponent
+    )
+    indptr, neighbors, nbr_pos = stream_crescendo_csr(ids, codes, space)
+    compiled = CompiledNetwork.from_arrays(
+        metric="ring",
+        bits=space.bits,
+        ids=ids,
+        indptr=indptr,
+        neighbors=neighbors,
+        nbr_pos=nbr_pos,
+    )
+    top = (
+        codes[:, 0].copy()
+        if codes.ndim == 2 and codes.shape[1]
+        else np.full(size, -1, dtype=np.int32)
+    )
+    return compiled, top

@@ -32,6 +32,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import zipfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
@@ -54,7 +55,9 @@ __all__ = [
 #: Bump when the payload layout (or anything affecting built link tables)
 #: changes; old entries then read as misses.  v2: keys grew the builder
 #: tag and payloads the Kandy/Can-Can extras (contact_depth, edge_depth).
-CACHE_VERSION = 2
+#: v3: compiled CSR arrays ride alongside as an ``.npz`` sidecar so warm
+#: loads of large networks skip Python-object link-table reconstruction.
+CACHE_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -85,6 +88,10 @@ class NetworkCache:
         """The cache file a key maps to (SHA-256 of its key string)."""
         digest = hashlib.sha256(self.key_string(key).encode("utf-8")).hexdigest()
         return self.root / f"{digest}.pkl"
+
+    def array_path_for(self, key: Tuple) -> Path:
+        """The ``.npz`` sidecar holding a key's compiled CSR arrays."""
+        return self.path_for(key).with_suffix(".npz")
 
     # ------------------------------------------------------------------- api
 
@@ -144,16 +151,69 @@ class NetworkCache:
             registry.counter("perf.cache.stores").inc()
         return path
 
+    # --------------------------------------------------------- array sidecar
+
+    def get_arrays(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        """The compiled-array sidecar for ``key``, or ``None`` (miss).
+
+        Arrays load with ``allow_pickle=False`` and the embedded key string
+        is verified, so — like :meth:`get` — corruption and collisions
+        degrade to misses, never wrong arrays.
+        """
+        import numpy as np
+
+        path = self.array_path_for(key)
+        arrays: Optional[Dict[str, Any]] = None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                if str(npz["__key__"]) == self.key_string(key):
+                    arrays = {
+                        name: npz[name] for name in npz.files if name != "__key__"
+                    }
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            arrays = None
+        registry = obs_metrics.active_registry()
+        if arrays is None:
+            if registry is not None:
+                registry.counter("perf.cache.array_misses").inc()
+            return None
+        if registry is not None:
+            registry.counter("perf.cache.array_hits").inc()
+        return arrays
+
+    def put_arrays(self, key: Tuple, arrays: Dict[str, Any]) -> Path:
+        """Atomically store compiled arrays as the ``.npz`` sidecar of ``key``."""
+        import numpy as np
+
+        path = self.array_path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, __key__=self.key_string(key), **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter("perf.cache.array_stores").inc()
+        return path
+
     def clear(self) -> int:
         """Delete every cache entry; returns how many files were removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "*.npz"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def stats(self) -> Dict[str, int]:

@@ -134,7 +134,11 @@ class CompiledNetwork:
         counts = np.fromiter(
             (len(network.links[node]) for node in ids), dtype=np.int64, count=n
         )
-        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        # Index arrays drop to int32 whenever the population and edge count
+        # fit — half the memory traffic in the hot loops, half the arena
+        # bytes — with int64 kept as the >= 2**31 escape hatch.
+        idx_dt = np.int32 if n < 2**31 and int(counts.sum()) < 2**31 else np.int64
+        self.indptr = np.zeros(n + 1, dtype=idx_dt)
         np.cumsum(counts, out=self.indptr[1:])
         flat: List[int] = []
         for node in ids:
@@ -150,13 +154,14 @@ class CompiledNetwork:
             pos = np.minimum(pos, n - 1)
             if np.any(self.ids[pos] != self.neighbors):
                 raise ValueError("link table references ids outside the network")
-            self.nbr_pos = pos.astype(np.int64)
+            self.nbr_pos = pos.astype(idx_dt)
         else:
-            self.nbr_pos = np.zeros(0, dtype=np.int64)
-        self._build_augmented(counts)
+            self.nbr_pos = np.zeros(0, dtype=idx_dt)
+        self._aug_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._ring_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
-    def _build_augmented(self, counts: np.ndarray) -> None:
-        """Build the sentinel-padded augmented search arrays.
+    def _build_augmented(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build the sentinel-padded augmented search arrays (lazy).
 
         Per node, in key order: a low sentinel mapping to the node's last
         neighbor (the wrapped clockwise / predecessor candidate), one entry
@@ -167,7 +172,12 @@ class CompiledNetwork:
         prefix (``position << shift``), which is exactly the state the
         routing loops carry forward.  Nodes without neighbors get sentinels
         pointing at themselves — distance zero, never a valid step.
+
+        Built on first use of :attr:`aug`/:attr:`cand_ids`/:attr:`cand_aug`
+        (the XOR fast path), so ring-metric networks never pay the
+        ``E + 2n`` allocations at all.
         """
+        counts = np.diff(self.indptr).astype(np.int64)
         n, E = self.n, int(self.neighbors.size)
         idx = np.arange(n, dtype=_U64)
         prefixes = idx << self.shift
@@ -197,10 +207,29 @@ class CompiledNetwork:
         else:
             cand_ids[lead] = cand_ids[trail] = self.ids
             cand_pos[lead] = cand_pos[trail] = np.arange(n)
-        self.aug = aug
-        self.cand_ids = cand_ids
-        self.cand_aug = cand_pos.astype(_U64) << self.shift
-        self._ring_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        cand_aug = cand_pos.astype(_U64) << self.shift
+        return aug, cand_ids, cand_aug
+
+    @property
+    def aug(self) -> np.ndarray:
+        """Globally increasing augmented key array (built on first use)."""
+        if self._aug_cache is None:
+            self._aug_cache = self._build_augmented()
+        return self._aug_cache[0]
+
+    @property
+    def cand_ids(self) -> np.ndarray:
+        """Candidate neighbor id per augmented entry (built on first use)."""
+        if self._aug_cache is None:
+            self._aug_cache = self._build_augmented()
+        return self._aug_cache[1]
+
+    @property
+    def cand_aug(self) -> np.ndarray:
+        """Candidate augmented prefix per entry (built on first use)."""
+        if self._aug_cache is None:
+            self._aug_cache = self._build_augmented()
+        return self._aug_cache[2]
 
     def _ring_matrix(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-node clockwise distances as a padded sorted matrix (lazy).
@@ -218,17 +247,19 @@ class CompiledNetwork:
         Returns ``(dist2d, posflat, ids_small)`` where the distance dtype
         is ``uint32`` when the id space fits (half the memory traffic of
         the hot loop) and ``uint64`` otherwise, and ``posflat`` is the
-        row-major flattened position matrix (``intp`` so step lookups index
-        directly).
+        row-major flattened position matrix — ``int32`` below 2**31 nodes
+        (the largest ring table by far; position values always fit), with
+        the hot-loop position buffers following its dtype.
         """
         if self._ring_tables is not None:
             return self._ring_tables
         n, E = self.n, int(self.neighbors.size)
         dt = np.uint32 if self.bits <= 32 else _U64
-        counts = np.diff(self.indptr)
+        pos_dt = np.int32 if n < 2**31 else np.intp
+        counts = np.diff(self.indptr).astype(np.int64)
         width = int(counts.max()) + 1 if E else 1
         dist2d = np.zeros((n, width), dtype=dt)
-        pos2d = np.repeat(np.arange(n, dtype=np.intp)[:, None], width, axis=1)
+        pos2d = np.repeat(np.arange(n, dtype=pos_dt)[:, None], width, axis=1)
         if E:
             seg = np.repeat(np.arange(n, dtype=_U64), counts)
             dists = (self.neighbors - self.ids[seg.astype(np.int64)]) & self.mask
@@ -244,6 +275,84 @@ class CompiledNetwork:
         ids_small = self.ids.astype(dt)
         self._ring_tables = (dist2d, pos2d.ravel(), ids_small)
         return self._ring_tables
+
+    # ------------------------------------------------------ arenas / arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        metric: str,
+        bits: int,
+        ids: np.ndarray,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        nbr_pos: np.ndarray,
+        network: Optional[DHTNetwork] = None,
+        aug: Optional[np.ndarray] = None,
+        cand_ids: Optional[np.ndarray] = None,
+        cand_aug: Optional[np.ndarray] = None,
+        ring_tables: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> "CompiledNetwork":
+        """Wrap pre-built CSR arrays without touching a Python link table.
+
+        This is how shared-memory attachment (:mod:`repro.perf.arena`), the
+        ``.npz`` cache sidecar and the streaming builder produce a usable
+        compiled network: the arrays are adopted as-is (zero-copy — they
+        may be read-only views over a shared segment), the metric search
+        structures are taken when given and built lazily otherwise, and
+        ``network`` stays ``None`` unless the caller has one.
+        """
+        self = cls.__new__(cls)
+        self.network = network
+        self.metric = metric
+        self.bits = int(bits)
+        self.n = int(ids.shape[0])
+        if self.n == 0:
+            raise ValueError("cannot compile an empty network")
+        self.ids = ids
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.nbr_pos = nbr_pos
+        self.shift = np.uint64(self.bits + 1)
+        self.mask = np.uint64((1 << self.bits) - 1)
+        self._aug_cache = (
+            (aug, cand_ids, cand_aug) if aug is not None else None
+        )
+        self._ring_tables = tuple(ring_tables) if ring_tables is not None else None
+        return self
+
+    def to_arena(
+        self,
+        latency: Optional["LatencyTable"] = None,
+        matrix_arena=None,
+        top_domain: Optional[np.ndarray] = None,
+        extras=None,
+        label: str = "net",
+    ):
+        """Export this compiled network into one shared-memory arena.
+
+        Returns the owning :class:`repro.perf.arena.Arena`; its picklable
+        ``manifest`` is what grid workers rehydrate with :meth:`from_arena`.
+        See :func:`repro.perf.arena.export_network` for the options.
+        """
+        from . import arena as perf_arena
+
+        return perf_arena.export_network(
+            self,
+            latency=latency,
+            matrix_arena=matrix_arena,
+            top_domain=top_domain,
+            extras=extras,
+            label=label,
+        )
+
+    @classmethod
+    def from_arena(cls, manifest) -> "CompiledNetwork":
+        """Attach (zero-copy, read-only) to an exported network by manifest."""
+        from . import arena as perf_arena
+
+        return perf_arena.attach_network(manifest).compiled
 
     # ------------------------------------------------------------- plumbing
 
@@ -439,7 +548,10 @@ class CompiledNetwork:
         width = dist2d.shape[1]
         # mask only when the id space doesn't fill the dtype (wrap is free).
         small_mask = None if int(self.mask) == np.iinfo(dt).max else dt(self.mask)
-        cur = self._positions(src).astype(np.intp)
+        # Position buffers follow posflat's (possibly int32) dtype: ``take``
+        # with ``out=`` requires an exact dtype match, and the smaller
+        # buffers halve the gather traffic of the hot loop.
+        cur = self._positions(src).astype(posflat.dtype)
         dsm = dest.astype(dt)
         hops = np.zeros(m, dtype=np.int64)
         curid = np.empty(m, dtype=dt)
@@ -448,7 +560,7 @@ class CompiledNetwork:
         rows = np.empty((m, width), dtype=dt)
         le = np.empty((m, width), dtype=bool)
         idx = np.empty(m, dtype=np.intp)
-        nxt = np.empty(m, dtype=np.intp)
+        nxt = np.empty(m, dtype=posflat.dtype)
         moved = np.empty(m, dtype=bool)
         sel: Optional[np.ndarray] = None  # original index of each survivor
         full_cur = full_hops = full_dsm = None
@@ -460,7 +572,9 @@ class CompiledNetwork:
             dist2d.take(cur, axis=0, out=rows)
             np.less_equal(rows, rem2, out=le)
             p = le.argmax(axis=1)
-            np.multiply(cur, width, out=idx)
+            # dtype= forces the flat index math into intp even when ``cur``
+            # is int32 (row * width can overflow int32 on huge tables).
+            np.multiply(cur, width, out=idx, dtype=np.intp)
             np.add(idx, p, out=idx)
             posflat.take(idx, out=nxt)
             np.not_equal(nxt, cur, out=moved)
@@ -503,7 +617,7 @@ class CompiledNetwork:
                 curid, rem = curid[:k], rem[:k]
                 rem2 = rem[:, None]
                 rows, le, idx = rows[:k], le[:k], idx[:k]
-                nxt = np.empty(k, dtype=np.intp)
+                nxt = np.empty(k, dtype=posflat.dtype)
                 moved = moved[:k]
         else:
             raise RuntimeError(

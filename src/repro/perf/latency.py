@@ -81,6 +81,19 @@ class LatencyTable:
     def size(self) -> int:
         return int(self.node_ids.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the table's arrays (ids + routers + matrix).
+
+        This is what the shared-memory path saves per extra worker: an
+        arena-exported table (:func:`repro.perf.arena.export_latency_matrix`
+        or the ``lat_*`` fields of an exported network) shares all three
+        arrays, so attaching costs none of these bytes again.
+        """
+        return int(
+            self.node_ids.nbytes + self.routers.nbytes + self.matrix.nbytes
+        )
+
     # ------------------------------------------------------------- lookups
 
     def positions(self, values: np.ndarray) -> np.ndarray:
