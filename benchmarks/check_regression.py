@@ -50,6 +50,7 @@ BASELINES = {
     "churn": ("BENCH_churn.json", "record_churn_baseline", []),
     "build": ("BENCH_build.json", "record_build_baseline", []),
     "routing": ("BENCH_routing.json", "record_routing_baseline", []),
+    "storage": ("BENCH_storage.json", "record_storage_baseline", []),
 }
 
 #: Leaf-key suffixes whose values are wall-clock measurements.

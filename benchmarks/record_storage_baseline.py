@@ -1,0 +1,340 @@
+"""Record the storage data-plane baseline into ``BENCH_storage.json``.
+
+Four sections, each a scalar-vs-vectorized pairing at 1K/4K/16K keys:
+
+- **placement** — :meth:`repro.storage.replication.ReplicatedStore.
+  replica_nodes` plus the access-domain pointer pick, one key at a time,
+  vs one :func:`repro.perf.storage.plan_puts` searchsorted sweep per
+  ``(storage, access)`` domain pair.  Homes, pointer nodes and replica
+  sets are asserted elementwise-identical.  This isolates the placement
+  kernel itself — the ≥10x headline — from the dict-insert floor that
+  both put paths share.
+- **put** — :meth:`repro.storage.replication.ReplicatedStore.put` one key
+  at a time vs :func:`repro.perf.storage.bulk_put_replicated` grouped by
+  ``(storage, access)`` domain pair.  The two stores' item tables, pointer
+  tables and replica sets are asserted dict-identical before any number
+  is recorded.
+- **get** — :meth:`repro.storage.store.HierarchicalStore.get` per key vs
+  :meth:`repro.perf.storage.CompiledStore.batch_get` frontier-at-a-time.
+  Every batch row is asserted field-identical to its scalar
+  :class:`~repro.storage.store.SearchResult` (values, path, found_at,
+  via_pointer, pointer_hops, content_node).
+- **repair** — one crash era over a :class:`~repro.simulation.protocol.
+  SimulatedCrescendo`: the scalar :meth:`DataLayer._rebalance` loop vs the
+  :class:`~repro.perf.storage.FastDataLayer` ``repair_scan`` sweep on an
+  identically grown twin network.  Holder assignments, lost keys,
+  surviving-copy counts and ``replicate`` message totals must agree
+  exactly — the recorded ``surviving_keys`` / ``lost_keys`` counts are the
+  surviving-copy accuracy check.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_storage_baseline.py
+
+The checked-in ``BENCH_storage.json`` is the reference point for
+``benchmarks/check_regression.py``; counts gate at tolerance 0 (1e-6),
+``*_per_s`` / ``speedup`` leaves are wall-clock and never gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.idspace import IdSpace  # noqa: E402
+from repro.perf.storage import (  # noqa: E402
+    CompiledStore,
+    FastDataLayer,
+    bulk_put_replicated,
+    plan_puts,
+    store_domain_index,
+)
+from repro.simulation.data import DataLayer  # noqa: E402
+from repro.simulation.protocol import SimulatedCrescendo  # noqa: E402
+from repro.storage.replication import ReplicatedStore  # noqa: E402
+from repro.storage.store import HierarchicalStore  # noqa: E402
+from repro.verify.builders import small_network  # noqa: E402
+from repro.verify.oracles import storage_workload  # noqa: E402
+
+RESULT_FIELDS = (
+    "values", "path", "found_at", "via_pointer", "pointer_hops", "content_node"
+)
+
+
+def _grouped(put_ops):
+    """Puts grouped by (storage, access) pair in first-occurrence order."""
+    groups = {}
+    for origin, key, value, sd, ad in put_ops:
+        groups.setdefault((sd, ad), []).append((origin, key, value))
+    return groups
+
+
+def bench_placement(network, keys, replicas):
+    """Scalar vs vectorized replica placement on one seeded workload."""
+    rng = random.Random(f"storage-bench-placement:{keys}")
+    put_ops, _ = storage_workload(network, rng, puts=keys, gets=0)
+    store = HierarchicalStore(network)
+    rstore = ReplicatedStore(store, replicas=replicas)
+    index = store_domain_index(store)
+    space = store.space
+    groups = [
+        (sd, ad, [space.hash_key(key) for _, key, _ in ops])
+        for (sd, ad), ops in _grouped(put_ops).items()
+    ]
+
+    start = time.perf_counter()
+    scalar_rows = []
+    for sd, ad, hashes in groups:
+        for key_hash in hashes:
+            holders = rstore.replica_nodes(key_hash, sd)
+            pointer = store.home_node(key_hash, ad) if ad != sd else None
+            scalar_rows.append((holders, pointer))
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    plans = [
+        (plan_puts(index, hashes, sd, ad, replicas=replicas), ad != sd)
+        for sd, ad, hashes in groups
+    ]
+    bulk_s = time.perf_counter() - start
+
+    it = iter(scalar_rows)
+    pointer_keys = 0
+    homes = set()
+    for plan, has_pointer in plans:
+        assert plan.replica_sets is not None
+        pointers = (
+            plan.pointer_nodes.tolist() if has_pointer else [None] * plan.homes.size
+        )
+        for j, (holders, pointer) in enumerate(
+            (next(it) for _ in range(plan.homes.size))
+        ):
+            assert plan.replica_sets[j].tolist() == holders
+            assert pointers[j] == pointer
+            homes.add(holders[0])
+            pointer_keys += pointer is not None and pointer != holders[0]
+    return {
+        "keys": keys,
+        "distinct_homes": len(homes),
+        "pointer_keys": pointer_keys,
+        "scalar_plan_per_s": keys / scalar_s,
+        "bulk_plan_per_s": keys / bulk_s,
+        "plan_speedup": scalar_s / bulk_s,
+    }
+
+
+def bench_putget(network, keys, replicas):
+    """Scalar vs bulk put and get over one seeded workload; returns a row."""
+    rng = random.Random(f"storage-bench:{keys}")
+    put_ops, get_ops = storage_workload(network, rng, puts=keys, gets=keys)
+
+    scalar_rstore = ReplicatedStore(HierarchicalStore(network), replicas=replicas)
+    start = time.perf_counter()
+    for origin, key, value, sd, ad in put_ops:
+        scalar_rstore.put(origin, key, value, sd, ad)
+    scalar_put_s = time.perf_counter() - start
+
+    bulk_rstore = ReplicatedStore(HierarchicalStore(network), replicas=replicas)
+    start = time.perf_counter()
+    for (sd, ad), ops in _grouped(put_ops).items():
+        origins = [o for o, _, _ in ops]
+        names = [k for _, k, _ in ops]
+        values = [v for _, _, v in ops]
+        bulk_put_replicated(bulk_rstore, origins, names, values, sd, ad)
+    bulk_put_s = time.perf_counter() - start
+    assert scalar_rstore.store._items == bulk_rstore.store._items
+    assert scalar_rstore.store._pointers == bulk_rstore.store._pointers
+    assert scalar_rstore.replica_sets == bulk_rstore.replica_sets
+
+    origins = [o for o, _ in get_ops]
+    names = [k for _, k in get_ops]
+    start = time.perf_counter()
+    scalar_results = [
+        scalar_rstore.store.get(origin, key) for origin, key in get_ops
+    ]
+    scalar_get_s = time.perf_counter() - start
+
+    compiled = CompiledStore(bulk_rstore.store)
+    start = time.perf_counter()
+    batch = compiled.batch_get(origins, names)
+    bulk_get_s = time.perf_counter() - start
+    found = 0
+    for scalar, row in zip(scalar_results, batch.results()):
+        for field in RESULT_FIELDS:
+            assert getattr(scalar, field) == getattr(row, field), (
+                f"{field} mismatch for key {scalar.key!r}"
+            )
+        found += scalar.found_at is not None
+    pointer_hops = sum(r.pointer_hops for r in scalar_results)
+
+    return {
+        "keys": keys,
+        "puts": len(put_ops),
+        "gets": len(get_ops),
+        "gets_found": found,
+        "pointer_hops_total": pointer_hops,
+        "scalar_put_per_s": len(put_ops) / scalar_put_s,
+        "bulk_put_per_s": len(put_ops) / bulk_put_s,
+        "put_speedup": scalar_put_s / bulk_put_s,
+        "scalar_get_per_s": len(get_ops) / scalar_get_s,
+        "bulk_get_per_s": len(get_ops) / bulk_get_s,
+        "get_speedup": scalar_get_s / bulk_get_s,
+    }
+
+
+PATHS = [("a", "x"), ("a", "y"), ("b", "x")]
+
+
+def _grown_pair(size, seed, replicas):
+    """Two identically grown protocol networks, one data layer each."""
+    layers = []
+    for layer_cls in (DataLayer, FastDataLayer):
+        rng = random.Random(seed)
+        net = SimulatedCrescendo(IdSpace(32))
+        for node_id in net.space.random_ids(size, rng):
+            net.join(node_id, PATHS[rng.randrange(3)])
+        net.stabilize()
+        layers.append((net, layer_cls(net, replicas=replicas)))
+    return layers
+
+
+def bench_repair(keys, size, replicas, crash_fraction, seed):
+    """Scalar rebalance loop vs repair_scan sweep after one crash era."""
+    (scalar_net, scalar_data), (fast_net, fast_data) = _grown_pair(
+        size, seed, replicas
+    )
+    rng = random.Random(f"storage-bench-repair:{keys}")
+    live = sorted(scalar_net.nodes)
+    for i in range(keys):
+        origin = live[rng.randrange(len(live))]
+        depth = rng.randrange(3)
+        domain = scalar_net.hierarchy.path_of(origin)[:depth]
+        for data in (scalar_data, fast_data):
+            data.put(origin, f"k{i}", f"v{i}", domain)
+    assert scalar_data.holders == fast_data.holders
+    victims = rng.sample(live, max(1, int(len(live) * crash_fraction)))
+    for victim in victims:
+        scalar_net.crash(victim)
+        fast_net.crash(victim)
+
+    scalar_before = scalar_net.msgs.stats.counts.get("replicate", 0)
+    start = time.perf_counter()
+    scalar_data.stabilized()
+    scalar_repair_s = time.perf_counter() - start
+    scalar_msgs = scalar_net.msgs.stats.counts.get("replicate", 0) - scalar_before
+
+    fast_before = fast_net.msgs.stats.counts.get("replicate", 0)
+    start = time.perf_counter()
+    fast_data.stabilized()
+    fast_repair_s = time.perf_counter() - start
+    fast_msgs = fast_net.msgs.stats.counts.get("replicate", 0) - fast_before
+
+    assert scalar_data.holders == fast_data.holders
+    assert sorted(scalar_data.lost_keys()) == sorted(fast_data.lost_keys())
+    assert scalar_msgs == fast_msgs
+    lost = len(fast_data.lost_keys())
+    return {
+        "keys": keys,
+        "population": size,
+        "crashed": len(victims),
+        "surviving_keys": keys - lost,
+        "lost_keys": lost,
+        "replicate_msgs": fast_msgs,
+        "scalar_repair_per_s": keys / scalar_repair_s,
+        "bulk_repair_per_s": keys / fast_repair_s,
+        "repair_speedup": scalar_repair_s / fast_repair_s,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_storage.json"),
+        help="output path (default: repo-root BENCH_storage.json)",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        nargs="+",
+        default=[1024, 4096, 16384],
+        help="workload sizes in keys (default: 1024 4096 16384)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=2048, help="store network population"
+    )
+    parser.add_argument(
+        "--repair-size", type=int, default=512, help="repair-era population"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=3, help="replication degree"
+    )
+    parser.add_argument("--seed", type=int, default=9, help="network seed")
+    args = parser.parse_args(argv)
+
+    network = small_network("crescendo", seed=args.seed, size=args.size)
+    placement = {}
+    putget = {}
+    repair = {}
+    for keys in args.keys:
+        prow = bench_placement(network, keys, args.replicas)
+        placement[str(keys)] = prow
+        print(
+            f"keys={keys:6d}  plan {prow['bulk_plan_per_s']:10.0f}/s "
+            f"({prow['plan_speedup']:5.1f}x)"
+        )
+        row = bench_putget(network, keys, args.replicas)
+        putget[str(keys)] = row
+        print(
+            f"keys={keys:6d}  put {row['bulk_put_per_s']:10.0f}/s "
+            f"({row['put_speedup']:5.1f}x)  get {row['bulk_get_per_s']:10.0f}/s "
+            f"({row['get_speedup']:5.1f}x)"
+        )
+        rrow = bench_repair(
+            keys, args.repair_size, args.replicas, 0.15, args.seed
+        )
+        repair[str(keys)] = rrow
+        print(
+            f"keys={keys:6d}  repair {rrow['bulk_repair_per_s']:8.0f}/s "
+            f"({rrow['repair_speedup']:5.1f}x)  "
+            f"surviving {rrow['surviving_keys']}/{keys}"
+        )
+    doc = {
+        "workload": {
+            "family": "crescendo",
+            "population": args.size,
+            "repair_population": args.repair_size,
+            "replicas": args.replicas,
+            "seed": args.seed,
+            "crash_fraction": 0.15,
+        },
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": {
+            "placement": "homes, pointer nodes and replica sets elementwise-"
+            "identical scalar vs plan_puts at every size",
+            "put": "store state dict-identical scalar vs bulk at every size",
+            "get": "every batch row field-identical to its scalar SearchResult",
+            "repair": "holders, lost keys and replicate counts equal scalar "
+            "vs repair_scan at every size",
+        },
+        "placement": placement,
+        "putget": putget,
+        "repair": repair,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,7 +119,7 @@ def main(argv=None) -> int:
         help="run grid workers against shared-memory arenas: the parent "
         "builds each network once and workers attach zero-copy (results "
         "are bit-identical to the default per-worker-build grids; "
-        "currently wired for fig5)",
+        "currently wired for fig5 and fig6)",
     )
     parser.add_argument(
         "--no-cache",

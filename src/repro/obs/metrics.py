@@ -508,6 +508,16 @@ def active_registry() -> Optional[MetricsRegistry]:
     return _active
 
 
+def record_counter(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active registry, if one is installed.
+
+    The pay-for-what-you-use instrumentation idiom in one place: call sites
+    stay a single line and cost a dict probe when no registry is active.
+    """
+    if amount and _active is not None:
+        _active.counter(name).inc(amount)
+
+
 @contextmanager
 def collecting(
     registry: Optional[MetricsRegistry] = None,

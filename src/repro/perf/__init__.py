@@ -37,6 +37,14 @@ to the plain implementations they accelerate:
   process via :func:`~repro.perf.dynamic.set_engine_mode` or per instance
   via :func:`~repro.perf.dynamic.make_protocol`, and held to bit-for-bit
   equivalence by :func:`repro.verify.oracles.compare_protocols`.
+- :mod:`repro.perf.storage` — the data-plane fast path: vectorized replica
+  placement and pointer location (:func:`~repro.perf.storage.plan_puts`),
+  batch put/get over the compiled ring tables with access-domain checks as
+  integer prefix compares (:class:`~repro.perf.storage.CompiledStore`),
+  vectorized churn repair scans (:func:`~repro.perf.storage.repair_scan`)
+  and :class:`~repro.perf.storage.FastDataLayer`, a drop-in for the scalar
+  :class:`~repro.simulation.data.DataLayer` under either dynamic engine;
+  held to scalar equivalence by :func:`repro.verify.oracles.compare_storage`.
 
 See ``docs/performance.md`` for the layout, invalidation rules and
 benchmark methodology.
@@ -97,18 +105,37 @@ from .kernels import (
     batch_route_xor,
     compile_network,
 )
+from .storage import (
+    BatchSearchResult,
+    CompiledStore,
+    DomainIndex,
+    FastDataLayer,
+    PutPlan,
+    RepairPlan,
+    bulk_put,
+    bulk_put_replicated,
+    plan_puts,
+    repair_scan,
+    scalar_search_latency,
+)
 
 __all__ = [
     "Arena",
     "ArenaManifest",
     "BUILDER_VERSION",
     "BatchResult",
+    "BatchSearchResult",
     "CompiledNetwork",
+    "CompiledStore",
+    "DomainIndex",
     "ENGINE_MODES",
+    "FastDataLayer",
     "FastSimulatedCrescendo",
     "NetworkCache",
     "NetworkView",
     "NodeArena",
+    "PutPlan",
+    "RepairPlan",
     "active_cache",
     "attach_network",
     "batch_route",
@@ -116,6 +143,8 @@ __all__ = [
     "batch_route_xor",
     "builder_tag",
     "bulk_enabled",
+    "bulk_put",
+    "bulk_put_replicated",
     "caching",
     "compile_network",
     "default_cache_dir",
@@ -133,8 +162,11 @@ __all__ = [
     "make_protocol",
     "map_points",
     "network_payload",
+    "plan_puts",
+    "repair_scan",
     "resolve_engine",
     "resolve_jobs",
+    "scalar_search_latency",
     "set_build_mode",
     "set_default_arena",
     "set_default_jobs",

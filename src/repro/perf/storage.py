@@ -1,0 +1,1000 @@
+"""Vectorized data plane: bulk placement, batch put/get, repair scans.
+
+The scalar data plane (:mod:`repro.storage`) walks Python objects one key at
+a time: every put computes a per-domain responsible node with a list bisect,
+every get is a hop-by-hop object walk with per-item access checks, and every
+churn-era repair decision re-sorts domain member lists per key.  This module
+gives the data layer the same treatment :mod:`repro.perf.build` gave
+construction and :mod:`repro.perf.kernels` gave routing:
+
+- **Vectorized replica placement** (:func:`plan_puts`): arrays of key hashes
+  plus a storage/access domain pair become home nodes, pointer locations and
+  the full replica matrix via ``searchsorted`` sweeps over per-domain sorted
+  member arrays — bit-identical to
+  :meth:`~repro.storage.store.HierarchicalStore.put` placement and
+  :meth:`~repro.storage.replication.ReplicatedStore.replica_nodes`.
+
+- **Batch put** (:func:`bulk_put` / :func:`bulk_put_replicated`): apply a
+  placement plan to a scalar store in one sweep, leaving the store's
+  ``_items`` / ``_pointers`` dicts exactly as the equivalent sequence of
+  scalar ``put`` calls would (bucket insertion order included, so follow-up
+  scalar reads are indistinguishable).
+
+- **Batch get** (:class:`CompiledStore`): thousands of hierarchical lookups
+  frontier-at-a-time over the compiled ring tables of
+  :class:`~repro.perf.kernels.CompiledNetwork`, with access-domain
+  visibility as integer prefix-code compares (see :class:`DomainIndex`) and
+  pointer indirections resolved through a single batched fetch-leg routing
+  call.  The returned :class:`BatchSearchResult` reconstructs scalar
+  :class:`~repro.storage.store.SearchResult` objects field-for-field;
+  ``repro.verify.compare_storage`` holds them hop-for-hop and (with a
+  latency table) bit-for-bit equal to the scalar walk.
+
+- **Vectorized repair scans** (:func:`repair_scan` / :class:`FastDataLayer`):
+  after a churn era, responsibility and surviving-copy counts over the whole
+  keyspace are recomputed in one pass per storage domain, emitting the same
+  ``replicate`` / ``transfer`` message counts and holder assignments as the
+  scalar :class:`~repro.simulation.data.DataLayer`, but with one aggregated
+  ``_count`` per event instead of one per copy.
+
+The visibility compare rests on an exact identity: with ``lca(o, c)`` the
+longest common prefix of the origin's and current node's paths,
+``is_ancestor(A, lca(o, c))`` holds iff ``A`` is a prefix of *both* paths —
+two integer compares against precomputed per-node prefix codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.hierarchy import DomainPath, ROOT, is_ancestor
+from ..core.routing import MAX_HOPS
+from ..obs import metrics as obs_metrics
+from ..storage.store import HierarchicalStore, Pointer, SearchResult, StoredItem
+from ..storage.replication import ReplicatedStore
+from .kernels import CompiledNetwork, _in_sorted, compile_network
+
+_U64 = np.uint64
+
+__all__ = [
+    "BatchSearchResult",
+    "CompiledStore",
+    "DomainIndex",
+    "FastDataLayer",
+    "PutPlan",
+    "RepairPlan",
+    "bulk_put",
+    "bulk_put_replicated",
+    "plan_puts",
+    "repair_scan",
+    "scalar_search_latency",
+]
+
+
+_record = obs_metrics.record_counter
+
+
+def _predecessor_positions(members: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.idspace.predecessor_index` over a ring.
+
+    ``searchsorted(side="right") - 1`` is the last member ``<= key``;
+    a negative result (key below every member) wraps to the last member,
+    exactly like the scalar bisect with its ``% len`` wrap.
+    """
+    pos = np.searchsorted(members, keys, side="right").astype(np.int64) - 1
+    return np.where(pos < 0, members.size - 1, pos)
+
+
+class DomainIndex:
+    """Per-domain sorted member arrays + integer prefix codes for a hierarchy.
+
+    Every distinct domain path is interned to a small integer code; for each
+    node position ``p`` (into the sorted ``ids`` array) and depth ``d``,
+    ``prefix_code[p, d]`` is the code of the first ``d`` components of the
+    node's path (``-1`` beyond the path's length).  ``is_ancestor(A, path)``
+    then collapses to ``prefix_code[p, len(A)] == code(A)`` — one integer
+    gather and compare, with domains deeper than the hierarchy always false.
+    """
+
+    def __init__(self, hierarchy, ids: Sequence[int]) -> None:
+        self.hierarchy = hierarchy
+        self.ids = np.asarray(ids, dtype=_U64)
+        if self.ids.size and np.any(self.ids[1:] <= self.ids[:-1]):
+            self.ids = np.sort(self.ids)
+        self._codes: Dict[DomainPath, int] = {}
+        self._members: Dict[DomainPath, np.ndarray] = {}
+        paths = [hierarchy.path_of(int(i)) for i in self.ids.tolist()]
+        self.max_depth = max((len(p) for p in paths), default=0)
+        self.prefix_code = np.full(
+            (self.ids.size, self.max_depth + 1), -1, dtype=np.int64
+        )
+        for pos, path in enumerate(paths):
+            for depth in range(len(path) + 1):
+                self.prefix_code[pos, depth] = self.code(path[:depth])
+
+    def code(self, domain: DomainPath) -> int:
+        """Interned integer code of a domain path (assigned on first use)."""
+        code = self._codes.get(domain)
+        if code is None:
+            code = self._codes[domain] = len(self._codes)
+        return code
+
+    def ancestor_probe(self, domain: DomainPath) -> Tuple[int, int]:
+        """``(code, depth)`` such that node at position ``p`` lies under
+        ``domain`` iff ``prefix_code[p, depth] == code``."""
+        depth = len(domain)
+        if depth > self.max_depth:
+            return -2, 0  # deeper than any node path: matches nothing
+        return self.code(domain), depth
+
+    def members(self, domain: DomainPath) -> np.ndarray:
+        """Sorted member ids of ``domain`` as a uint64 array (cached)."""
+        arr = self._members.get(domain)
+        if arr is None:
+            arr = np.asarray(
+                self.hierarchy.sorted_members(domain), dtype=_U64
+            )
+            self._members[domain] = arr
+        return arr
+
+    def positions(self, values: np.ndarray) -> np.ndarray:
+        """Index of each node id in the sorted ``ids`` array."""
+        pos = np.minimum(
+            np.searchsorted(self.ids, values), self.ids.size - 1
+        ).astype(np.int64)
+        bad = self.ids[pos] != values
+        if np.any(bad):
+            raise KeyError(f"node {int(np.asarray(values)[bad][0])} not in hierarchy")
+        return pos
+
+    def home_positions(self, keys: np.ndarray, domain: DomainPath) -> np.ndarray:
+        """Per-key predecessor index into ``members(domain)``."""
+        members = self.members(domain)
+        if members.size == 0:
+            raise ValueError(f"domain {domain!r} has no members")
+        return _predecessor_positions(members, keys)
+
+
+def store_domain_index(store: HierarchicalStore) -> DomainIndex:
+    """The (memoized) :class:`DomainIndex` of a store's network."""
+    cached = store.__dict__.get("_perf_domain_index")
+    if cached is None:
+        cached = DomainIndex(store.hierarchy, store.network.node_ids)
+        store.__dict__["_perf_domain_index"] = cached
+    return cached
+
+
+# ------------------------------------------------------------------ placement
+
+
+@dataclass
+class PutPlan:
+    """Vectorized placement for a batch of puts sharing one domain pair.
+
+    ``pointer_nodes`` mirrors the scalar put's second return value: the
+    access-domain responsible node whenever the access domain differs from
+    the storage domain (even when it coincides with the home), else ``None``.
+    ``replica_sets`` is the ``(m, count)`` holder matrix (primary first,
+    then ring predecessors) when a replica count was requested.
+    """
+
+    key_hashes: np.ndarray
+    storage_domain: DomainPath
+    access_domain: DomainPath
+    homes: np.ndarray
+    pointer_nodes: Optional[np.ndarray] = None
+    replica_sets: Optional[np.ndarray] = None
+
+
+def plan_puts(
+    index: DomainIndex,
+    key_hashes: Sequence[int],
+    storage_domain: Optional[DomainPath] = None,
+    access_domain: Optional[DomainPath] = None,
+    replicas: Optional[int] = None,
+) -> PutPlan:
+    """Compute homes / pointer nodes / replica sets for a batch of keys.
+
+    Bit-identical to per-key :meth:`HierarchicalStore.home_node` and
+    :meth:`ReplicatedStore.replica_nodes`: the home is the ring predecessor
+    (or equal) member of the storage domain, the pointer node the same
+    within the access domain, and replica ``i`` the ``i``-th ring
+    predecessor of the home among the domain members.
+    """
+    storage_domain = ROOT if storage_domain is None else tuple(storage_domain)
+    access_domain = ROOT if access_domain is None else tuple(access_domain)
+    keys = np.asarray(key_hashes, dtype=_U64)
+    members = index.members(storage_domain)
+    if members.size == 0:
+        raise ValueError(f"domain {storage_domain!r} has no members")
+    start = _predecessor_positions(members, keys)
+    homes = members[start]
+    pointer_nodes: Optional[np.ndarray] = None
+    if access_domain != storage_domain:
+        access_members = index.members(access_domain)
+        if access_members.size == 0:
+            raise ValueError(f"domain {access_domain!r} has no members")
+        pointer_nodes = access_members[_predecessor_positions(access_members, keys)]
+    replica_sets: Optional[np.ndarray] = None
+    if replicas is not None:
+        count = min(int(replicas), int(members.size))
+        offsets = np.arange(count, dtype=np.int64)
+        replica_sets = members[(start[:, None] - offsets) % members.size]
+    return PutPlan(keys, storage_domain, access_domain, homes, pointer_nodes, replica_sets)
+
+
+def bulk_put(
+    store: HierarchicalStore,
+    origins: Sequence[int],
+    keys: Sequence[object],
+    values: Sequence[object],
+    storage_domain: Optional[DomainPath] = None,
+    access_domain: Optional[DomainPath] = None,
+) -> PutPlan:
+    """Batch :meth:`HierarchicalStore.put` for one ``(storage, access)`` pair.
+
+    Leaves the store's internal state exactly as the same sequence of scalar
+    puts (in argument order) would: items append to the home bucket in order,
+    and a pointer is recorded only when the access-domain responsible node
+    differs from the home.  Bulk calls with *different* domain pairs commute
+    with each other unless two of their keys share a home bucket (same node
+    and key hash) — practically, unless the same key is put twice.
+    """
+    storage_domain = ROOT if storage_domain is None else tuple(storage_domain)
+    access_domain = ROOT if access_domain is None else tuple(access_domain)
+    index = store_domain_index(store)
+    origin_arr = np.asarray(list(origins), dtype=_U64)
+    m = int(origin_arr.size)
+    if not (len(keys) == len(values) == m):
+        raise ValueError(f"{m} origins vs {len(keys)} keys / {len(values)} values")
+    scode, sdepth = index.ancestor_probe(storage_domain)
+    contained = index.prefix_code[index.positions(origin_arr), sdepth] == scode
+    if not bool(np.all(contained)):
+        offender = int(origin_arr[~contained][0])
+        raise ValueError(
+            f"storage domain {storage_domain!r} does not contain node {offender}"
+        )
+    if not is_ancestor(access_domain, storage_domain):
+        raise ValueError(
+            f"access domain {access_domain!r} is not a superset of "
+            f"storage domain {storage_domain!r}"
+        )
+    space = store.space
+    hashes = [space.hash_key(key) for key in keys]
+    plan = plan_puts(index, hashes, storage_domain, access_domain)
+    items = store._items
+    pointers = store._pointers
+    homes = plan.homes.tolist()
+    pointer_nodes = (
+        plan.pointer_nodes.tolist() if plan.pointer_nodes is not None else None
+    )
+    for i in range(m):
+        home = homes[i]
+        key_hash = hashes[i]
+        items.setdefault(home, {}).setdefault(key_hash, []).append(
+            StoredItem(keys[i], key_hash, values[i], storage_domain, access_domain)
+        )
+        if pointer_nodes is not None and pointer_nodes[i] != home:
+            pointers.setdefault(pointer_nodes[i], {}).setdefault(
+                key_hash, []
+            ).append(Pointer(key_hash, home, storage_domain, access_domain))
+    _record("storage.puts", m)
+    return plan
+
+
+def bulk_put_replicated(
+    rstore: ReplicatedStore,
+    origins: Sequence[int],
+    keys: Sequence[object],
+    values: Sequence[object],
+    storage_domain: Optional[DomainPath] = None,
+    access_domain: Optional[DomainPath] = None,
+) -> PutPlan:
+    """Batch :meth:`ReplicatedStore.put`: bulk insert + replica copies.
+
+    Replica copies duplicate the *first* stored item for the key at the home
+    bucket (the scalar path's ``next(...)`` pick), so repeated puts of one
+    key replicate the original value exactly as the scalar store does.
+    """
+    store = rstore.store
+    plan = bulk_put(store, origins, keys, values, storage_domain, access_domain)
+    replicated = plan_puts(
+        store_domain_index(store),
+        plan.key_hashes,
+        plan.storage_domain,
+        plan.access_domain,
+        replicas=rstore.replicas,
+    )
+    holders = replicated.replica_sets
+    assert holders is not None
+    items = store._items
+    homes = plan.homes.tolist()
+    copies = 0
+    holder_rows = holders.tolist()
+    for i, key in enumerate(keys):
+        key_hash = int(plan.key_hashes[i])
+        original = next(
+            it for it in items[homes[i]][key_hash] if it.key == key
+        )
+        for holder in holder_rows[i][1:]:
+            items.setdefault(holder, {}).setdefault(key_hash, []).append(
+                StoredItem(
+                    original.key, original.key_hash, original.value,
+                    original.storage_domain, original.access_domain,
+                )
+            )
+            copies += 1
+        rstore.replica_sets[key_hash] = holder_rows[i]
+    _record("storage.replica_copies", copies)
+    plan.replica_sets = holders
+    return plan
+
+
+# ------------------------------------------------------------------ batch get
+
+
+@dataclass
+class BatchSearchResult:
+    """Outcome of one batch hierarchical lookup, aligned index-for-index.
+
+    ``found_at`` / ``content_node`` hold ``-1`` where the scalar result is
+    ``None``; :meth:`results` reconstructs the scalar
+    :class:`~repro.storage.store.SearchResult` objects field-for-field.
+    ``latency_ms`` (when routed with a latency table) matches
+    :func:`scalar_search_latency` bit-for-bit: a float64 left fold over the
+    walk, plus twice the fetch leg for pointer answers.  ``probes`` counts
+    local-answer probes across all hops (the batch analogue of the scalar
+    walk's per-node store checks).
+    """
+
+    keys: List[object]
+    key_hashes: np.ndarray
+    origins: np.ndarray
+    paths: List[List[int]]
+    found_at: np.ndarray
+    via_pointer: np.ndarray
+    pointer_hops: np.ndarray
+    content_node: np.ndarray
+    values: List[List[object]]
+    latency_ms: Optional[np.ndarray] = None
+    probes: int = 0
+
+    @property
+    def size(self) -> int:
+        return int(self.origins.size)
+
+    @property
+    def found(self) -> np.ndarray:
+        return self.found_at >= 0
+
+    def results(self) -> Iterator[SearchResult]:
+        """Scalar :class:`SearchResult` objects, index-aligned."""
+        for i in range(self.size):
+            found_at = int(self.found_at[i])
+            content = int(self.content_node[i])
+            yield SearchResult(
+                self.keys[i],
+                self.values[i],
+                self.paths[i],
+                found_at if found_at >= 0 else None,
+                bool(self.via_pointer[i]),
+                int(self.pointer_hops[i]),
+                content if content >= 0 else None,
+            )
+
+
+class CompiledStore:
+    """A :class:`HierarchicalStore` snapshot in array form for batch gets.
+
+    Items and pointers are flattened into sorted composite-key arrays:
+    items under ``(node position << key-id bits) | interned key id`` and
+    pointers under ``(node position << id-space bits) | key hash``, both
+    with aligned access-domain prefix codes.  A batch get then walks all
+    queries frontier-at-a-time over the compiled ring tables, probing
+    buckets with two ``searchsorted`` calls per hop and checking access
+    with integer prefix compares; only final answers materialize Python
+    values.  Stores are snapshotted at construction — rebuild after
+    mutating the underlying store.
+    """
+
+    def __init__(
+        self,
+        store: HierarchicalStore,
+        compiled: Optional[CompiledNetwork] = None,
+    ) -> None:
+        self.store = store
+        self.compiled = compiled or compile_network(store.network)
+        self.index = store_domain_index(store)
+        ids = self.compiled.ids
+        positions = {int(node): pos for pos, node in enumerate(ids.tolist())}
+
+        # Intern every stored key; query keys unknown to the store map to a
+        # sentinel id that matches no bucket.  Key identity is dict-based,
+        # matching the scalar path's ``item.key == key`` for hashable keys.
+        key_ids: Dict[object, int] = {}
+        item_rows: List[Tuple[int, int, object, int, int]] = []
+        for node, buckets in store._items.items():
+            pos = positions[int(node)]
+            for bucket in buckets.values():
+                for item in bucket:
+                    kid = key_ids.setdefault(item.key, len(key_ids))
+                    code, depth = self.index.ancestor_probe(item.access_domain)
+                    item_rows.append((pos, kid, item.value, code, depth))
+        self._key_ids = key_ids
+        self._n_keys = len(key_ids)
+        kid_bits = max(1, int(self._n_keys).bit_length())
+        pos_bits = max(1, int(ids.size - 1).bit_length())
+        if pos_bits + kid_bits > 64:
+            raise ValueError("store too large for 64-bit item keys")
+        self._kid_shift = _U64(kid_bits)
+
+        combos = np.fromiter(
+            ((r[0] << kid_bits) | r[1] for r in item_rows), dtype=_U64,
+            count=len(item_rows),
+        )
+        order = np.argsort(combos, kind="stable")  # keeps bucket order
+        self._item_combo = combos[order]
+        order_list = order.tolist()
+        self._item_value = [item_rows[i][2] for i in order_list]
+        self._item_code = np.fromiter(
+            (item_rows[i][3] for i in order_list), dtype=np.int64,
+            count=len(order_list),
+        )
+        self._item_depth = np.fromiter(
+            (item_rows[i][4] for i in order_list), dtype=np.int64,
+            count=len(order_list),
+        )
+
+        ptr_rows: List[Tuple[int, int, int, int, int]] = []
+        bits = int(self.compiled.bits)
+        for node, buckets in store._pointers.items():
+            pos = positions[int(node)]
+            for key_hash, bucket in buckets.items():
+                for pointer in bucket:
+                    code, depth = self.index.ancestor_probe(pointer.access_domain)
+                    ptr_rows.append(
+                        (pos, key_hash, positions[int(pointer.home_node)], code, depth)
+                    )
+        ptr_combos = np.fromiter(
+            ((r[0] << bits) | r[1] for r in ptr_rows), dtype=_U64,
+            count=len(ptr_rows),
+        )
+        ptr_order = np.argsort(ptr_combos, kind="stable")
+        self._ptr_combo = ptr_combos[ptr_order]
+        ptr_order_list = ptr_order.tolist()
+        self._ptr_home_pos = np.fromiter(
+            (ptr_rows[i][2] for i in ptr_order_list), dtype=np.int64,
+            count=len(ptr_order_list),
+        )
+        self._ptr_code = np.fromiter(
+            (ptr_rows[i][3] for i in ptr_order_list), dtype=np.int64,
+            count=len(ptr_order_list),
+        )
+        self._ptr_depth = np.fromiter(
+            (ptr_rows[i][4] for i in ptr_order_list), dtype=np.int64,
+            count=len(ptr_order_list),
+        )
+        self._bits_shift = _U64(bits)
+
+    # ----------------------------------------------------------- probe steps
+
+    def _probe_items(
+        self, cur: np.ndarray, origin: np.ndarray, kids: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[int, List[object]]]:
+        """Visible stored items at the frontier nodes, per query.
+
+        Returns a hit mask over the frontier plus, for each hit row, the
+        matching values in bucket insertion order — exactly the scalar
+        ``_local_answer`` item branch.
+        """
+        combos = (cur.astype(_U64) << self._kid_shift) | kids
+        lo = np.searchsorted(self._item_combo, combos, side="left")
+        hi = np.searchsorted(self._item_combo, combos, side="right")
+        hit = np.zeros(cur.size, dtype=bool)
+        values: Dict[int, List[object]] = {}
+        prefix = self.index.prefix_code
+        for row in np.flatnonzero(hi > lo).tolist():
+            sl = slice(int(lo[row]), int(hi[row]))
+            visible = (
+                (prefix[origin[row], self._item_depth[sl]] == self._item_code[sl])
+                & (prefix[cur[row], self._item_depth[sl]] == self._item_code[sl])
+            )
+            if visible.any():
+                hit[row] = True
+                base = int(lo[row])
+                values[row] = [
+                    self._item_value[base + off]
+                    for off in np.flatnonzero(visible).tolist()
+                ]
+        return hit, values
+
+    def _probe_pointers(
+        self,
+        cur: np.ndarray,
+        origin: np.ndarray,
+        kids: np.ndarray,
+        key_hashes: np.ndarray,
+    ) -> Tuple[np.ndarray, Dict[int, List[object]]]:
+        """First resolvable visible pointer at the frontier nodes, per query.
+
+        Returns the content-home position (``-1`` when no pointer resolves)
+        plus the remote values — the scalar pointer branch: visible pointers
+        in insertion order, taking the first whose home bucket holds the key
+        (no visibility check on the remote copy).
+        """
+        combos = (cur.astype(_U64) << self._bits_shift) | key_hashes
+        lo = np.searchsorted(self._ptr_combo, combos, side="left")
+        hi = np.searchsorted(self._ptr_combo, combos, side="right")
+        resolved = np.full(cur.size, -1, dtype=np.int64)
+        values: Dict[int, List[object]] = {}
+        prefix = self.index.prefix_code
+        kid_bits = int(self._kid_shift)
+        for row in np.flatnonzero(hi > lo).tolist():
+            for entry in range(int(lo[row]), int(hi[row])):
+                depth = int(self._ptr_depth[entry])
+                code = int(self._ptr_code[entry])
+                if prefix[origin[row], depth] != code or prefix[cur[row], depth] != code:
+                    continue
+                home_pos = int(self._ptr_home_pos[entry])
+                item_combo = _U64((home_pos << kid_bits) | int(kids[row]))
+                left = int(np.searchsorted(self._item_combo, item_combo, side="left"))
+                right = int(np.searchsorted(self._item_combo, item_combo, side="right"))
+                if right > left:
+                    resolved[row] = home_pos
+                    values[row] = self._item_value[left:right]
+                    break
+        return resolved, values
+
+    # ------------------------------------------------------------------- get
+
+    def batch_get(
+        self,
+        origins: Sequence[int],
+        keys: Sequence[object],
+        latency=None,
+    ) -> BatchSearchResult:
+        """Batch hierarchical lookup (``first_match`` semantics).
+
+        Every query walks the greedy ring path from its origin; at each hop
+        the whole frontier probes stored items (visible at the current
+        routing level on both the origin and current sides of the prefix
+        identity), then pointers, then takes one vectorized ring step.
+        Pointer fetch legs are routed as one batch call afterwards.
+        """
+        compiled = self.compiled
+        space = self.store.space
+        keys = list(keys)
+        m = len(keys)
+        origin_arr = np.asarray(list(origins), dtype=_U64)
+        if origin_arr.size != m:
+            raise ValueError(f"{origin_arr.size} origins vs {m} keys")
+        key_hashes = np.fromiter(
+            (space.hash_key(key) for key in keys), dtype=_U64, count=m
+        )
+        kids = np.fromiter(
+            (self._key_ids.get(key, self._n_keys) for key in keys),
+            dtype=_U64, count=m,
+        )
+        cur = compiled._positions(origin_arr)
+        origin_pos = cur.copy()
+        paths: List[List[int]] = [[int(o)] for o in origin_arr.tolist()]
+        found_at_pos = np.full(m, -1, dtype=np.int64)
+        content_pos = np.full(m, -1, dtype=np.int64)
+        via_pointer = np.zeros(m, dtype=bool)
+        not_found = np.zeros(m, dtype=bool)
+        values_out: List[List[object]] = [[] for _ in range(m)]
+        lat_state = compiled._latency_state(latency)
+        lat = np.zeros(m, dtype=np.float64) if lat_state is not None else None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
+        dist2d, posflat, ids_small = compiled._ring_matrix()
+        dt = dist2d.dtype.type
+        width = dist2d.shape[1]
+        small_mask = (
+            None if int(compiled.mask) == np.iinfo(dt).max else dt(compiled.mask)
+        )
+        dest_small = key_hashes.astype(dt)
+        probes = 0
+        active = np.arange(m, dtype=np.int64)
+        for _ in range(MAX_HOPS):
+            if active.size == 0:
+                break
+            frontier = cur[active]
+            opos = origin_pos[active]
+            fkids = kids[active]
+            probes += int(active.size)
+            hit, hit_values = self._probe_items(frontier, opos, fkids)
+            if hit.any():
+                rows = active[hit]
+                found_at_pos[rows] = cur[rows]
+                content_pos[rows] = cur[rows]
+                for local in np.flatnonzero(hit).tolist():
+                    values_out[int(active[local])] = hit_values[local]
+                keep = ~hit
+                active = active[keep]
+                frontier = frontier[keep]
+                opos = opos[keep]
+                fkids = fkids[keep]
+                if active.size == 0:
+                    break
+            resolved, ptr_values = self._probe_pointers(
+                frontier, opos, fkids, key_hashes[active]
+            )
+            via = resolved >= 0
+            if via.any():
+                rows = active[via]
+                found_at_pos[rows] = cur[rows]
+                content_pos[rows] = resolved[via]
+                via_pointer[rows] = True
+                for local in np.flatnonzero(via).tolist():
+                    values_out[int(active[local])] = ptr_values[local]
+                keep = ~via
+                active = active[keep]
+                frontier = frontier[keep]
+                if active.size == 0:
+                    break
+            # One greedy ring step for the remaining frontier.
+            current_ids = ids_small[frontier]
+            remaining = dest_small[active] - current_ids
+            if small_mask is not None:
+                remaining &= small_mask
+            candidates = dist2d[frontier]
+            first = (candidates <= remaining[:, None]).argmax(axis=1)
+            nxt = posflat[frontier * width + first].astype(np.int64)
+            moved = nxt != frontier
+            stuck = active[~moved]
+            if stuck.size:
+                not_found[stuck] = True  # self-step: greedy walk is done
+            advanced = active[moved]
+            if advanced.size:
+                new_pos = nxt[moved]
+                if lat is not None:
+                    lat[advanced] += lhop2 + lmat[
+                        lr[cur[advanced]], lr[new_pos]
+                    ].astype(np.float64)
+                cur[advanced] = new_pos
+                for row, node in zip(
+                    advanced.tolist(), compiled.ids[new_pos].tolist()
+                ):
+                    paths[row].append(int(node))
+            active = advanced
+        if active.size:
+            raise RuntimeError("lookup exceeded hop bound; broken network")
+
+        pointer_hops = np.zeros(m, dtype=np.int64)
+        resolved_rows = np.flatnonzero(via_pointer)
+        if resolved_rows.size:
+            fetch_src = compiled.ids[found_at_pos[resolved_rows]]
+            fetch_dst = compiled.ids[content_pos[resolved_rows]]
+            fetch = compiled.route_ring(fetch_src, fetch_dst, latency=latency)
+            pointer_hops[resolved_rows] = 2 * fetch.hops
+            if lat is not None:
+                lat[resolved_rows] = lat[resolved_rows] + 2.0 * fetch.latency_ms
+
+        found_at = np.where(
+            found_at_pos >= 0,
+            compiled.ids[np.maximum(found_at_pos, 0)].astype(np.int64),
+            np.int64(-1),
+        )
+        content_node = np.where(
+            content_pos >= 0,
+            compiled.ids[np.maximum(content_pos, 0)].astype(np.int64),
+            np.int64(-1),
+        )
+        _record("storage.gets", m)
+        _record("storage.pointer_resolutions", int(resolved_rows.size))
+        _record("storage.batch.probes", probes)
+        return BatchSearchResult(
+            keys=keys,
+            key_hashes=key_hashes,
+            origins=origin_arr,
+            paths=paths,
+            found_at=found_at,
+            via_pointer=via_pointer,
+            pointer_hops=pointer_hops,
+            content_node=content_node,
+            values=values_out,
+            latency_ms=lat,
+            probes=probes,
+        )
+
+
+def scalar_search_latency(network, table, result: SearchResult) -> float:
+    """Overlay milliseconds of a scalar search, batch-compatible bit-for-bit.
+
+    The walk is the left-fold :meth:`~repro.perf.latency.LatencyTable.path_ms`
+    over the search path; a pointer answer adds twice the fetch leg (the
+    resolve-and-return round trip), in the same float64 operation order as
+    :meth:`CompiledStore.batch_get` accumulates.
+    """
+    from ..core.routing import route_ring
+
+    total = table.path_ms(result.path)
+    if result.via_pointer and result.content_node is not None:
+        fetch = route_ring(network, result.found_at, result.content_node)
+        total = total + 2.0 * table.path_ms(fetch.path)
+    return total
+
+
+# ---------------------------------------------------------------- repair scan
+
+
+@dataclass
+class RepairPlan:
+    """One vectorized repair sweep over a data layer's whole keyspace.
+
+    ``desired`` is a ``(keys, replicas)`` matrix of post-repair holders
+    (``-1`` padding past ``desired_count``); rows of lost keys (no surviving
+    copy) have count zero.  ``replicate_msgs`` is the number of copy
+    transfers the sweep would issue — exactly the scalar
+    :meth:`~repro.simulation.data.DataLayer._rebalance` message count.
+    """
+
+    key_hashes: np.ndarray
+    survivors: np.ndarray
+    lost: np.ndarray
+    desired: np.ndarray
+    desired_count: np.ndarray
+    replicate_msgs: int
+
+    def holders_of(self, row: int) -> List[int]:
+        """The post-repair holder list for one key row (primary first)."""
+        return self.desired[row, : int(self.desired_count[row])].tolist()
+
+
+def repair_scan(
+    key_hashes: Sequence[int],
+    storage_domains: Sequence[DomainPath],
+    holder_rows: Sequence[Sequence[int]],
+    members_of,
+    live_ids: Sequence[int],
+    replicas: int,
+) -> RepairPlan:
+    """Recompute responsibility + surviving copies over the whole keyspace.
+
+    ``members_of(domain)`` must return the sorted live member ids of a
+    domain as a uint64 array.  For every key: count the current holders
+    still alive, mark keys with none as lost, recompute the desired holder
+    run (responsible node + ring predecessors) per storage domain with one
+    ``searchsorted`` sweep, and count one ``replicate`` per desired holder
+    not already holding a live copy.
+    """
+    m = len(key_hashes)
+    keys = np.asarray(key_hashes, dtype=_U64)
+    width = max((len(row) for row in holder_rows), default=0)
+    holder_matrix = np.full((m, max(width, 1)), -1, dtype=np.int64)
+    for i, row in enumerate(holder_rows):
+        if row:
+            holder_matrix[i, : len(row)] = row
+    live_sorted = np.asarray(sorted(live_ids), dtype=_U64)
+    live_mask = _in_sorted(live_sorted, holder_matrix.astype(_U64))
+    survivors = live_mask.sum(axis=1).astype(np.int64)
+    lost = survivors == 0
+    live_holders = np.where(live_mask, holder_matrix, -1)
+
+    groups: Dict[DomainPath, List[int]] = {}
+    for i, domain in enumerate(storage_domains):
+        groups.setdefault(domain, []).append(i)
+
+    replica_cap = max(int(replicas), 1)
+    desired = np.full((m, replica_cap), -1, dtype=np.int64)
+    desired_count = np.zeros(m, dtype=np.int64)
+    replicate_msgs = 0
+    for domain, rows in groups.items():
+        idx = np.asarray(rows, dtype=np.int64)
+        idx = idx[~lost[idx]]
+        if idx.size == 0:
+            continue
+        members = members_of(domain)
+        if members.size == 0:
+            continue  # no live member: scalar path also empties the holders
+        start = _predecessor_positions(members, keys[idx])
+        count = min(int(replicas), int(members.size))
+        offsets = np.arange(count, dtype=np.int64)
+        targets = members[(start[:, None] - offsets) % members.size].astype(np.int64)
+        missing = ~(targets[:, :, None] == live_holders[idx][:, None, :]).any(axis=2)
+        replicate_msgs += int(missing.sum())
+        desired[idx, :count] = targets
+        desired_count[idx] = count
+    return RepairPlan(keys, survivors, lost, desired, desired_count, replicate_msgs)
+
+
+class FastDataLayer:
+    """Vectorized drop-in for :class:`~repro.simulation.data.DataLayer`.
+
+    The public surface, holder assignments and every ``store`` /
+    ``transfer`` / ``replicate`` message count match the scalar layer
+    exactly (message counts are issued aggregated — equivalent, since
+    :meth:`~repro.simulation.events.MessageStats.record_many` is additive).
+    Rebalances and graceful-departure handoffs run as :func:`repair_scan`
+    sweeps over per-domain sorted member arrays, cached between membership
+    events; listener hooks invalidate the cache, so the layer rides both the
+    reference and the fast dynamic engines at 16K+ event schedules.
+    """
+
+    def __init__(self, net, replicas: int = 2) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one copy")
+        self.net = net
+        self.replicas = replicas
+        self.items: Dict[int, "DataItem"] = {}
+        self.holders: Dict[int, List[int]] = {}
+        self._member_arrays: Dict[DomainPath, np.ndarray] = {}
+        self._live_sorted: Optional[np.ndarray] = None
+        net.listeners.append(self)
+
+    # -------------------------------------------------------------- placement
+
+    def _invalidate(self) -> None:
+        self._member_arrays.clear()
+        self._live_sorted = None
+
+    def _members(self, domain: DomainPath) -> np.ndarray:
+        arr = self._member_arrays.get(domain)
+        if arr is None:
+            arr = np.asarray(
+                sorted(
+                    n
+                    for n in self.net.hierarchy.members(domain)
+                    if self.net.nodes[n].alive
+                ),
+                dtype=_U64,
+            )
+            self._member_arrays[domain] = arr
+        return arr
+
+    def _live(self) -> np.ndarray:
+        if self._live_sorted is None:
+            self._live_sorted = np.asarray(
+                sorted(n for n, node in self.net.nodes.items() if node.alive),
+                dtype=_U64,
+            )
+        return self._live_sorted
+
+    def _desired_holders(self, item) -> List[int]:
+        members = self._members(item.storage_domain)
+        if members.size == 0:
+            return []
+        start = int(
+            np.searchsorted(members, _U64(item.key_hash), side="right")
+        ) - 1
+        if start < 0:
+            start = int(members.size) - 1
+        count = min(self.replicas, int(members.size))
+        return [int(members[(start - i) % members.size]) for i in range(count)]
+
+    # ------------------------------------------------------------------- API
+
+    def put(self, origin, key, value, storage_domain=None) -> List[int]:
+        """Store a key-value pair; returns its holders (responsible first)."""
+        from ..simulation.data import DataItem
+
+        storage_domain = ROOT if storage_domain is None else storage_domain
+        origin_path = self.net.hierarchy.path_of(origin)
+        if not is_ancestor(storage_domain, origin_path):
+            raise ValueError(
+                f"storage domain {storage_domain!r} does not contain {origin}"
+            )
+        key_hash = self.net.space.hash_key(key)
+        item = DataItem(key, key_hash, value, storage_domain)
+        self.items[key_hash] = item
+        holders = self._desired_holders(item)
+        self.holders[key_hash] = holders
+        self.net._count("store", max(1, len(holders)))
+        _record("storage.puts", 1)
+        return holders
+
+    def get(self, origin, key):
+        """Lookup through the live network; replicas mask dead primaries."""
+        key_hash = self.net.space.hash_key(key)
+        route = self.net.lookup(origin, key_hash)
+        _record("storage.gets", 1)
+        item = self.items.get(key_hash)
+        if item is None:
+            return None, route
+        holders = set(self.holders.get(key_hash, []))
+        if holders.intersection(route.path):
+            return item.value, route
+        return None, route
+
+    def value_available(self, key) -> bool:
+        """Whether at least one live holder still has a copy of ``key``."""
+        key_hash = self.net.space.hash_key(key)
+        return any(
+            holder in self.net.nodes and self.net.nodes[holder].alive
+            for holder in self.holders.get(key_hash, [])
+        )
+
+    def lost_keys(self) -> List[object]:
+        """Keys whose every copy crashed before re-replication."""
+        return [
+            self.items[kh].key
+            for kh, holders in self.holders.items()
+            if not holders
+        ]
+
+    # ------------------------------------------------------------- listeners
+
+    def node_joined(self, node_id: int) -> None:
+        """The joiner takes over the keys in its new range (handoff)."""
+        self._invalidate()
+        self._rebalance()
+
+    def node_leaving(self, node_id: int) -> None:
+        """Graceful departure: hand keys to the nodes inheriting the range."""
+        # The hook fires before the protocol forgets the leaver, so member
+        # arrays cached during the handoff still list it: drop them again
+        # afterwards rather than serve them to a later put or rebalance.
+        self._invalidate()
+        try:
+            self._handoff(node_id)
+        finally:
+            self._invalidate()
+
+    def node_crashed(self, node_id: int) -> None:
+        """Silent failure: surviving copies keep the data alive; repair
+        happens at the next stabilization round."""
+        self._invalidate()
+
+    def stabilized(self) -> None:
+        """Stabilization hook: restore the replication degree everywhere."""
+        self._invalidate()
+        self._rebalance()
+
+    # -------------------------------------------------------------- internals
+
+    def _rebalance(self) -> None:
+        if not self.items:
+            return
+        key_list = list(self.items)
+        plan = repair_scan(
+            key_list,
+            [self.items[kh].storage_domain for kh in key_list],
+            [self.holders.get(kh, []) for kh in key_list],
+            self._members,
+            self._live(),
+            self.replicas,
+        )
+        self.net._count("replicate", plan.replicate_msgs)
+        for row, key_hash in enumerate(key_list):
+            self.holders[key_hash] = plan.holders_of(row)
+
+    def _handoff(self, node_id: int) -> None:
+        """Graceful departure: desired runs excluding the leaver, with one
+        ``transfer`` per desired holder not already in the key's holder list
+        (dead or not — matching the scalar layer's count)."""
+        affected = [
+            kh for kh, holders in self.holders.items() if node_id in holders
+        ]
+        if not affected:
+            return
+        leaver = _U64(node_id)
+        transfer_msgs = 0
+        new_rows: Dict[int, List[int]] = {}
+        groups: Dict[DomainPath, List[int]] = {}
+        for key_hash in affected:
+            groups.setdefault(self.items[key_hash].storage_domain, []).append(key_hash)
+        for domain, key_hashes in groups.items():
+            full = self._members(domain)
+            members = full[full != leaver]
+            if members.size == 0:
+                for key_hash in key_hashes:
+                    new_rows[key_hash] = []
+                continue
+            keys = np.asarray(key_hashes, dtype=_U64)
+            start = _predecessor_positions(members, keys)
+            count = min(self.replicas, int(members.size))
+            offsets = np.arange(count, dtype=np.int64)
+            targets = members[(start[:, None] - offsets) % members.size].astype(np.int64)
+            rows = targets.tolist()
+            for i, key_hash in enumerate(key_hashes):
+                old = self.holders[key_hash]
+                desired = rows[i]
+                transfer_msgs += sum(1 for t in desired if t not in old)
+                new_rows[key_hash] = desired
+        self.net._count("transfer", transfer_msgs)
+        for key_hash, row in new_rows.items():
+            self.holders[key_hash] = row

@@ -175,13 +175,16 @@ class Event:
     registry there).
     """
 
-    kind: str  # join | leave | crash | lookup | stabilize | checkpoint
+    kind: str  # join | leave | crash | lookup | stabilize | checkpoint | put | get
     node: Optional[int] = None  # join: the id to add
     path: Optional[DomainPath] = None  # join: its leaf domain
-    rank: Optional[int] = None  # leave/crash/lookup: live-list index
-    key: Optional[int] = None  # lookup: the key
+    rank: Optional[int] = None  # leave/crash/lookup/put/get: live-list index
+    key: Optional[int] = None  # lookup: the key; put/get: the data key token
+    #: put: storage-domain depth — the origin's path truncated to this many
+    #: components (0 = global).  Clamped to the origin's actual depth.
+    depth: Optional[int] = None
 
-    KINDS = ("join", "leave", "crash", "lookup", "stabilize", "checkpoint")
+    KINDS = ("join", "leave", "crash", "lookup", "stabilize", "checkpoint", "put", "get")
 
 
 @dataclass
@@ -205,6 +208,11 @@ class ScheduleReport:
     #: oracle's latency-equivalence check (identical paths across engines
     #: imply identical latency totals; both are asserted).
     lookup_paths: List[List[int]] = field(default_factory=list)
+    #: Data-layer activity (``put`` / ``get`` events; requires a layer).
+    puts: int = 0
+    data_gets: int = 0
+    #: Per-get (key token, value found) outcomes in schedule order.
+    data_outcomes: List[Tuple[int, bool]] = field(default_factory=list)
 
 
 def run_schedule(
@@ -212,6 +220,7 @@ def run_schedule(
     events: Sequence[Event],
     on_checkpoint: Optional[Callable[[SimulatedCrescendo, int, bool], None]] = None,
     min_population: int = 3,
+    data=None,
 ) -> ScheduleReport:
     """Replay an explicit event list; fully deterministic, no RNG.
 
@@ -222,6 +231,14 @@ def run_schedule(
     stabilization; ``converged`` is False when
     :meth:`~repro.simulation.protocol.SimulatedCrescendo.stabilize_to_convergence`
     gave up.
+
+    ``data`` attaches a content layer (a
+    :class:`~repro.simulation.data.DataLayer` or
+    :class:`~repro.perf.storage.FastDataLayer` registered on ``net``):
+    ``put`` events store ``k<token>`` from a rank-addressed live origin
+    into its path truncated to ``event.depth``, ``get`` events look the
+    token up the same way.  Without a layer both kinds are skipped, so
+    schedules stay replayable on bare networks.
     """
     if not net.nodes:
         raise ValueError("bootstrap the network before replaying a schedule")
@@ -252,6 +269,22 @@ def run_schedule(
                     (bool(result.success), result.path[-1])
                 )
                 report.lookup_paths.append(list(result.path))
+        elif event.kind == "put":
+            if data is not None and live:
+                origin = live[event.rank % len(live)]
+                origin_path = net.hierarchy.path_of(origin)
+                depth = min(event.depth or 0, len(origin_path))
+                data.put(
+                    origin, f"k{event.key}", f"v{event.key}",
+                    origin_path[:depth],
+                )
+                report.puts += 1
+        elif event.kind == "get":
+            if data is not None and len(live) >= 2:
+                origin = live[event.rank % len(live)]
+                value, _route = data.get(origin, f"k{event.key}")
+                report.data_gets += 1
+                report.data_outcomes.append((event.key, value is not None))
         elif event.kind == "stabilize":
             net.stabilize()
             report.stabilize_rounds += 1

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.hierarchy import DomainPath, ROOT, is_ancestor
 from ..core.idspace import predecessor_index
+from ..obs.metrics import record_counter
 from .protocol import SimulatedCrescendo
 
 
@@ -87,6 +88,7 @@ class DataLayer:
         self.holders[key_hash] = holders
         # One store message to the responsible node + one per extra replica.
         self.net._count("store", max(1, len(holders)))
+        record_counter("storage.puts")
         return holders
 
     def get(self, origin: int, key: object):
@@ -98,6 +100,7 @@ class DataLayer:
         """
         key_hash = self.net.space.hash_key(key)
         route = self.net.lookup(origin, key_hash)
+        record_counter("storage.gets")
         item = self.items.get(key_hash)
         if item is None:
             return None, route

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.hierarchy import DomainPath, lca
+from ..obs.metrics import record_counter
 from .store import HierarchicalStore, SearchResult
 
 
@@ -82,6 +83,7 @@ class LevelAwareCache:
             if level == worst_level:
                 del self._entries[key_hash]
                 self.evictions += 1
+                record_counter("storage.cache.evictions")
                 return
 
 
@@ -127,6 +129,7 @@ class CachingStore:
             hit = cached.get(key_hash) if cached else None
             if hit is not None:
                 self.stats.hits += 1
+                record_counter("storage.cache.hits")
                 result = SearchResult(key, [hit], path, cur, False, 0)
                 break
             routing_domain = lca(origin_path, self.hierarchy.path_of(cur))
@@ -134,6 +137,7 @@ class CachingStore:
             if local is not None:
                 values, via_pointer, pointer_hops, content_node = local
                 self.stats.misses += 1
+                record_counter("storage.cache.misses")
                 result = SearchResult(
                     key, values, path, cur, via_pointer, pointer_hops,
                     content_node,
@@ -142,6 +146,7 @@ class CachingStore:
             nxt = self.store._greedy_step(cur, key_hash)
             if nxt is None:
                 self.stats.misses += 1
+                record_counter("storage.cache.misses")
                 return SearchResult(key, [], path, None, False, 0)
             path.append(nxt)
             cur = nxt
@@ -174,6 +179,7 @@ class CachingStore:
             level = depth - len(answer_domain)
             self.cache_at(proxy).put(key_hash, value, level)
             self.stats.insertions += 1
+            record_counter("storage.cache.insertions")
 
     def eviction_count(self) -> int:
         """Total evictions across every node's cache."""

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.hierarchy import DomainPath, ROOT
 from ..core.idspace import successor_index
+from ..obs.metrics import record_counter
 from .store import HierarchicalStore, SearchResult, StoredItem
 
 DEFAULT_REPLICAS = 3
@@ -87,6 +88,7 @@ class ReplicatedStore:
                 key_hash, []
             ).append(replica)
         self.replica_sets[key_hash] = holders
+        record_counter("storage.replica_copies", len(holders) - 1)
         return holders
 
     def get(self, origin: int, key: object) -> SearchResult:

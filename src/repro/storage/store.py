@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.hierarchy import DomainPath, ROOT, is_ancestor, lca
 from ..core.routing import MAX_HOPS, Route
 from ..dhts.crescendo import CrescendoNetwork
+from ..obs.metrics import record_counter
 
 
 @dataclass
@@ -147,6 +148,7 @@ class HierarchicalStore:
                 f"storage domain {storage_domain!r}"
             )
         key_hash = self.space.hash_key(key)
+        record_counter("storage.puts")
         home = self.home_node(key_hash, storage_domain)
         item = StoredItem(key, key_hash, value, storage_domain, access_domain)
         self._items.setdefault(home, {}).setdefault(key_hash, []).append(item)
@@ -177,6 +179,7 @@ class HierarchicalStore:
         leaves the domain.
         """
         key_hash = self.space.hash_key(key)
+        record_counter("storage.gets")
         origin_path = self.hierarchy.path_of(origin)
         path = [origin]
         cur = origin
@@ -232,6 +235,7 @@ class HierarchicalStore:
             if remote:
                 # Resolve the indirection: node fetches from the content home
                 # and returns it to the query initiator (round trip).
+                record_counter("storage.pointer_resolutions")
                 fetch = route_hops(self.network, node, pointer.home_node)
                 return remote, True, 2 * fetch, pointer.home_node
         return None

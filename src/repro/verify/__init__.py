@@ -5,7 +5,8 @@ Three layers, designed to be called from tests, CLIs and each other:
 - :mod:`~repro.verify.invariants`: per-family structural checkers in a
   single registry (:func:`run_checks` / :func:`verify_network`).
 - :mod:`~repro.verify.oracles`: differential oracles comparing reference
-  vs. bulk builders and scalar vs. batch routing.
+  vs. bulk builders, scalar vs. batch routing, scalar vs. vectorized
+  storage, plus the data-layer durability oracle.
 - :mod:`~repro.verify.fuzz`: a deterministic, seed-driven churn fuzzer
   that verifies at every quiescent point and shrinks failing schedules;
   :mod:`~repro.verify.mutate` keeps the checkers honest by corrupting
@@ -35,11 +36,20 @@ from .invariants import (
     verify_network,
 )
 from .mutate import corrupt, mutation_smoke
-from .oracles import BuildComparison, compare_builders, compare_routing
+from .oracles import (
+    BuildComparison,
+    DurabilityMonitor,
+    check_durability,
+    compare_builders,
+    compare_routing,
+    compare_storage,
+    storage_workload,
+)
 from .violations import InvariantViolationError, Violation, summarize
 
 __all__ = [
     "BuildComparison",
+    "DurabilityMonitor",
     "EXTRA_FAMILIES",
     "FAMILIES",
     "FuzzConfig",
@@ -48,9 +58,11 @@ __all__ = [
     "Violation",
     "all_checkers",
     "build_family",
+    "check_durability",
     "checkers_for",
     "compare_builders",
     "compare_routing",
+    "compare_storage",
     "corrupt",
     "generate_schedule",
     "maybe_verify",
@@ -64,6 +76,7 @@ __all__ = [
     "set_auto_verify",
     "shrink_schedule",
     "small_network",
+    "storage_workload",
     "summarize",
     "verify_network",
 ]

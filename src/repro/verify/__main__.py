@@ -88,6 +88,13 @@ def main(argv=None) -> int:
         help="maintenance engine for the replayed network (default: auto); "
         "any failing schedule must reproduce under either engine",
     )
+    fuzz.add_argument(
+        "--data-replicas",
+        type=int,
+        metavar="N",
+        help="attach an N-replica data layer: the schedule gains put/get "
+        "events and every checkpoint runs the durability oracles",
+    )
 
     rep = sub.add_parser("replay", help="replay a saved counterexample fixture")
     rep.add_argument("fixture", help="path to a schedule JSON")
@@ -138,6 +145,7 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
             mutate_family=args.mutate,
             mutate_kind=args.mutate_kind,
             engine=args.engine,
+            data_replicas=args.data_replicas,
         )
         start = time.time()
         report = run_fuzz(config, shrink=not args.no_shrink)
@@ -154,6 +162,13 @@ def _dispatch(args: argparse.Namespace, registry) -> int:
             f"{report.replay.lookups_delivered}/{report.replay.lookups_attempted} "
             f"lookups delivered"
         )
+        if config.data_replicas is not None:
+            delivered = sum(1 for _, ok in report.replay.data_outcomes if ok)
+            print(
+                f"data layer (replicas={config.data_replicas}): "
+                f"{report.replay.puts} puts, {delivered}/"
+                f"{report.replay.data_gets} gets answered"
+            )
         print(_metrics_line(registry))
         print(summarize(report.violations))
         if report.shrunk is not None:

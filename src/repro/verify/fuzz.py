@@ -28,7 +28,7 @@ from ..simulation.protocol import SimulatedCrescendo
 from .builders import FAMILIES, PREFIX_FAMILIES, build_family
 from .invariants import run_checks
 from .mutate import corrupt
-from .oracles import compare_routing
+from .oracles import DurabilityMonitor, check_durability, compare_routing
 from .violations import Violation
 
 #: Leaf domains of the fuzz hierarchy (two levels, 3 x 2).
@@ -45,6 +45,14 @@ DEFAULT_WEIGHTS: Dict[str, float] = {
     "stabilize": 0.05,
 }
 
+#: Extra event mix when a data layer rides the schedule
+#: (``FuzzConfig.data_replicas``); kept out of :data:`DEFAULT_WEIGHTS` so
+#: schedules generated without a layer stay byte-identical to older seeds.
+DATA_WEIGHTS: Dict[str, float] = {
+    "put": 0.08,
+    "get": 0.12,
+}
+
 
 @dataclass
 class FuzzConfig:
@@ -59,6 +67,13 @@ class FuzzConfig:
     mutate_family: Optional[str] = None
     mutate_kind: str = "drop"
     routing_pairs: int = 32
+    #: replication degree of the data layer riding the schedule, or None
+    #: for a bare network.  When set, the schedule gains ``put``/``get``
+    #: events, replay attaches a
+    #: :class:`~repro.perf.storage.FastDataLayer` plus a
+    #: :class:`~repro.verify.oracles.DurabilityMonitor`, and every
+    #: checkpoint runs :func:`~repro.verify.oracles.check_durability`.
+    data_replicas: Optional[int] = None
     #: maintenance engine to replay with ("auto"/"fast"/"reference") —
     #: runtime-only, deliberately not serialized into fixtures: any fixture
     #: must replay identically under either engine.
@@ -93,9 +108,13 @@ def generate_schedule(config: FuzzConfig) -> List[Event]:
     """
     rng = random.Random(f"fuzz-schedule:{config.seed}")
     space = IdSpace(config.bits)
-    kinds = list(DEFAULT_WEIGHTS)
-    weights = [DEFAULT_WEIGHTS[k] for k in kinds]
+    mix = dict(DEFAULT_WEIGHTS)
+    if config.data_replicas is not None:
+        mix.update(DATA_WEIGHTS)
+    kinds = list(mix)
+    weights = [mix[k] for k in kinds]
     used_ids = set()
+    put_keys: List[int] = []
     events: List[Event] = []
     for _ in range(config.events):
         kind = rng.choices(kinds, weights)[0]
@@ -116,6 +135,24 @@ def generate_schedule(config: FuzzConfig) -> List[Event]:
                     key=space.random_id(rng),
                 )
             )
+        elif kind == "put":
+            token = rng.randrange(1 << 30)
+            put_keys.append(token)
+            events.append(
+                Event(
+                    "put",
+                    rank=rng.randrange(1 << 30),
+                    key=token,
+                    depth=rng.randrange(3),
+                )
+            )
+        elif kind == "get":
+            # Mostly re-read stored keys; some misses keep the path honest.
+            if put_keys and rng.random() < 0.8:
+                token = put_keys[rng.randrange(len(put_keys))]
+            else:
+                token = rng.randrange(1 << 30)
+            events.append(Event("get", rank=rng.randrange(1 << 30), key=token))
         else:
             events.append(Event("stabilize"))
     # Checkpoints at evenly spaced quiescent points, plus one at the end.
@@ -215,7 +252,10 @@ def check_protocol_state(net: SimulatedCrescendo) -> List[Violation]:
 
 
 def _checkpoint_verifier(
-    config: FuzzConfig, violations: List[Violation]
+    config: FuzzConfig,
+    violations: List[Violation],
+    data=None,
+    monitor=None,
 ) -> Callable[[SimulatedCrescendo, int, bool], None]:
     """The callback run at each quiescent point of the schedule."""
 
@@ -230,6 +270,8 @@ def _checkpoint_verifier(
                 )
             )
         violations.extend(check_protocol_state(net))
+        if data is not None:
+            violations.extend(check_durability(net, data, monitor))
         live = sorted(n for n, node in net.nodes.items() if node.alive)
         paths = [net.nodes[n].path for n in live]
         hierarchy = Hierarchy()
@@ -264,9 +306,20 @@ def _checkpoint_verifier(
 def replay(config: FuzzConfig, schedule: Sequence[Event]) -> FuzzReport:
     """Replay one schedule from the seed-derived bootstrap and verify."""
     net = bootstrap_network(config)
+    data = monitor = None
+    if config.data_replicas is not None:
+        from ..perf.storage import FastDataLayer
+
+        # Layer first, monitor second: the monitor's hooks must see the
+        # layer's post-handoff holder state to classify losses.
+        data = FastDataLayer(net, replicas=config.data_replicas)
+        monitor = DurabilityMonitor(net, data)
     violations: List[Violation] = []
     report = run_schedule(
-        net, list(schedule), on_checkpoint=_checkpoint_verifier(config, violations)
+        net,
+        list(schedule),
+        on_checkpoint=_checkpoint_verifier(config, violations, data, monitor),
+        data=data,
     )
     return FuzzReport(
         config=config,
@@ -339,6 +392,11 @@ def schedule_to_json(config: FuzzConfig, events: Sequence[Event]) -> str:
             "mutate_family": config.mutate_family,
             "mutate_kind": config.mutate_kind,
             "routing_pairs": config.routing_pairs,
+            **(
+                {"data_replicas": config.data_replicas}
+                if config.data_replicas is not None
+                else {}
+            ),
             "expect_violations": config.mutate_family is not None,
             "events": [
                 {
@@ -347,6 +405,7 @@ def schedule_to_json(config: FuzzConfig, events: Sequence[Event]) -> str:
                     **({"path": list(e.path)} if e.path is not None else {}),
                     **({"rank": e.rank} if e.rank is not None else {}),
                     **({"key": e.key} if e.key is not None else {}),
+                    **({"depth": e.depth} if e.depth is not None else {}),
                 }
                 for e in events
             ],
@@ -367,6 +426,7 @@ def schedule_from_json(text: str) -> Tuple[FuzzConfig, List[Event], bool]:
         mutate_family=doc.get("mutate_family"),
         mutate_kind=doc.get("mutate_kind", "drop"),
         routing_pairs=doc.get("routing_pairs", 32),
+        data_replicas=doc.get("data_replicas"),
     )
     events = [
         Event(
@@ -375,6 +435,7 @@ def schedule_from_json(text: str) -> Tuple[FuzzConfig, List[Event], bool]:
             path=tuple(e["path"]) if "path" in e else None,
             rank=e.get("rank"),
             key=e.get("key"),
+            depth=e.get("depth"),
         )
         for e in doc["events"]
     ]

@@ -29,6 +29,20 @@ fuzzer checkpoint can call them:
   identical delivery outcomes, identical per-kind message counts and
   identical final protocol state (link tables, leaf sets, predecessors).
 
+- :func:`compare_storage` drives one deterministic mixed-domain put/get
+  workload (:func:`storage_workload`) through the scalar hierarchical
+  store and through the vectorized data plane of
+  :mod:`repro.perf.storage` (bulk placement + batch get), and requires
+  identical placements, identical internal store state and field-for-field
+  identical :class:`~repro.storage.store.SearchResult` outcomes — with a
+  latency table, bit-identical overlay milliseconds too.
+
+- :func:`check_durability` (with its :class:`DurabilityMonitor` listener)
+  is the data-layer durability oracle for churn schedules: no acknowledged
+  write goes lost without a crash or a domain-emptying departure to blame,
+  holders re-converge to the desired replica run at every quiescent point,
+  and copies never escape their storage domain.
+
 When a :mod:`repro.obs.metrics` registry is active, ``verify.checks`` and
 ``verify.violations`` count oracle runs and findings.
 """
@@ -37,9 +51,12 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.hierarchy import DomainPath, is_ancestor
+from ..core.idspace import predecessor_index
 from ..core.network import DHTNetwork, LinkTableError
 from ..core.routing import route
 from ..obs import metrics as obs_metrics
@@ -461,5 +478,360 @@ def compare_routing(
                 )
             )
             break
+    _count_check(len(out))
+    return out
+
+
+# ------------------------------------------------------- storage equivalence
+
+
+def storage_workload(
+    network: DHTNetwork,
+    rng: random.Random,
+    puts: int = 64,
+    gets: int = 128,
+    max_depth: Optional[int] = None,
+) -> Tuple[List[Tuple], List[Tuple[int, object]]]:
+    """A deterministic mixed-domain put/get workload over a built network.
+
+    Put operations are ``(origin, key, value, storage_domain,
+    access_domain)`` tuples: the storage domain is a random-length prefix of
+    the origin's hierarchy path (clamped to ``max_depth`` when given) and
+    the access domain a random-length prefix of the storage domain — every
+    legal pair, including the pointer-producing ones.  Get operations are
+    ``(origin, key)`` with 80% of keys drawn from the puts and the rest
+    guaranteed absent.
+    """
+    ids = list(network.node_ids)
+    hierarchy = network.hierarchy
+    put_ops: List[Tuple] = []
+    for i in range(puts):
+        origin = ids[rng.randrange(len(ids))]
+        path = hierarchy.path_of(origin)
+        depth = len(path) if max_depth is None else min(max_depth, len(path))
+        storage_domain = path[: rng.randrange(depth + 1)]
+        access_domain = storage_domain[: rng.randrange(len(storage_domain) + 1)]
+        put_ops.append(
+            (origin, f"key-{i}", f"value-{i}", storage_domain, access_domain)
+        )
+    get_ops: List[Tuple[int, object]] = []
+    for i in range(gets):
+        origin = ids[rng.randrange(len(ids))]
+        if put_ops and rng.random() < 0.8:
+            key = put_ops[rng.randrange(len(put_ops))][1]
+        else:
+            key = f"absent-{i}"
+        get_ops.append((origin, key))
+    return put_ops, get_ops
+
+
+def compare_storage(
+    network: DHTNetwork,
+    puts: int = 64,
+    gets: int = 128,
+    replicas: Optional[int] = None,
+    latency: Optional[LatencyTable] = None,
+    rng: Optional[random.Random] = None,
+    max_reported: int = 20,
+) -> List[Violation]:
+    """Scalar store vs. vectorized data plane on one workload, bit-for-bit.
+
+    Runs :func:`storage_workload` twice over two fresh stores on the same
+    network: the reference side as a sequence of scalar
+    :meth:`~repro.storage.store.HierarchicalStore.put` /
+    :meth:`~repro.storage.store.HierarchicalStore.get` calls, the fast side
+    through :func:`repro.perf.storage.bulk_put` (one call per domain pair,
+    first-occurrence order) and :meth:`repro.perf.storage.CompiledStore.batch_get`.
+    Equivalence demands identical placements (homes, pointer nodes, replica
+    sets when ``replicas`` is given), identical internal item/pointer state,
+    and per-get identical values, path, found_at, via_pointer, pointer_hops
+    and content_node — plus, with a ``latency`` table, bit-identical overlay
+    milliseconds against :func:`repro.perf.storage.scalar_search_latency`.
+
+    The prefix families (CAN, Can-Can) pin domains to the root: their
+    ``responsible_node`` is zone containment over a partition of the full
+    ring (identical to the predecessor rule there), but a proper sub-domain
+    of zones does not cover the keyspace, so domain-scoped placement is
+    undefined for them in the scalar store too.
+    """
+    from ..perf.storage import (
+        CompiledStore,
+        bulk_put,
+        bulk_put_replicated,
+        scalar_search_latency,
+    )
+    from ..storage.replication import ReplicatedStore
+    from ..storage.store import HierarchicalStore
+    from .builders import PREFIX_FAMILIES
+
+    family = getattr(network, "family", "network")
+    rng = rng if rng is not None else random.Random(f"storage-oracle:{family}")
+    max_depth = 0 if family in PREFIX_FAMILIES else None
+    put_ops, get_ops = storage_workload(
+        network, rng, puts=puts, gets=gets, max_depth=max_depth
+    )
+
+    def violation(message: str, **kw) -> Violation:
+        return Violation(
+            check="oracle-storage", family=family, message=message, **kw
+        )
+
+    out: List[Violation] = []
+    ref_store = HierarchicalStore(network)
+    bulk_store = HierarchicalStore(network)
+    ref_rep = ReplicatedStore(ref_store, replicas) if replicas else None
+    bulk_rep = ReplicatedStore(bulk_store, replicas) if replicas else None
+
+    scalar_returns = []
+    for origin, key, value, storage_domain, access_domain in put_ops:
+        target = ref_rep if ref_rep is not None else ref_store
+        scalar_returns.append(
+            target.put(origin, key, value, storage_domain, access_domain)
+        )
+
+    # Bulk side: one call per (storage, access) pair in first-occurrence
+    # order; with unique keys the per-bucket append order is unchanged, so
+    # the stores must end up dict-identical.
+    groups: Dict[Tuple[DomainPath, DomainPath], List[int]] = {}
+    for idx, op in enumerate(put_ops):
+        groups.setdefault((op[3], op[4]), []).append(idx)
+    for (storage_domain, access_domain), rows in groups.items():
+        origins = [put_ops[i][0] for i in rows]
+        keys = [put_ops[i][1] for i in rows]
+        values = [put_ops[i][2] for i in rows]
+        if bulk_rep is not None:
+            plan = bulk_put_replicated(
+                bulk_rep, origins, keys, values, storage_domain, access_domain
+            )
+        else:
+            plan = bulk_put(
+                bulk_store, origins, keys, values, storage_domain, access_domain
+            )
+        for j, i in enumerate(rows):
+            if bulk_rep is not None:
+                planned = plan.replica_sets[j].tolist()
+            else:
+                pointer = (
+                    int(plan.pointer_nodes[j])
+                    if plan.pointer_nodes is not None
+                    else None
+                )
+                planned = (int(plan.homes[j]), pointer)
+            if planned != scalar_returns[i] and len(out) < max_reported:
+                out.append(
+                    violation(
+                        f"put {keys[j]!r}: scalar placed {scalar_returns[i]!r} "
+                        f"but the vectorized plan says {planned!r}",
+                        node=origins[j],
+                    )
+                )
+    if ref_store._items != bulk_store._items:
+        out.append(
+            violation("bulk puts left different items than the scalar sequence")
+        )
+    if ref_store._pointers != bulk_store._pointers:
+        out.append(
+            violation("bulk puts left different pointers than the scalar sequence")
+        )
+    if ref_rep is not None and ref_rep.replica_sets != bulk_rep.replica_sets:
+        out.append(violation("replica sets differ between scalar and bulk puts"))
+
+    compiled = CompiledStore(bulk_store)
+    batch = compiled.batch_get(
+        [op[0] for op in get_ops], [op[1] for op in get_ops], latency=latency
+    )
+    reader = ref_rep if ref_rep is not None else ref_store
+    for idx, ((origin, key), fast) in enumerate(zip(get_ops, batch.results())):
+        slow = reader.get(origin, key)
+        for field_name in (
+            "values", "path", "found_at", "via_pointer",
+            "pointer_hops", "content_node",
+        ):
+            a, b = getattr(slow, field_name), getattr(fast, field_name)
+            if a != b:
+                out.append(
+                    violation(
+                        f"get {key!r} from {origin}: {field_name} scalar "
+                        f"{a!r} vs batch {b!r}",
+                        node=origin,
+                    )
+                )
+        if latency is not None and slow.path == fast.path:
+            slow_ms = scalar_search_latency(network, latency, slow)
+            fast_ms = float(batch.latency_ms[idx])
+            if slow_ms != fast_ms:
+                out.append(
+                    violation(
+                        f"get {key!r}: scalar latency {slow_ms!r} ms vs "
+                        f"batch accumulated {fast_ms!r} ms",
+                        node=origin,
+                    )
+                )
+        if len(out) >= max_reported:
+            out.append(violation("... further storage disagreements suppressed"))
+            break
+    _count_check(len(out))
+    return out
+
+
+# --------------------------------------------------------------- durability
+
+
+class DurabilityMonitor:
+    """Listener classifying data-layer key losses as legitimate or not.
+
+    Register *after* the data layer on the same network, so every hook
+    observes the layer's post-handoff / post-rebalance holder state.  An
+    acknowledged write may legitimately go lost only when
+
+    - at least one **crash** happened since the last repair opportunity
+      (crash faults can destroy every copy before stabilization runs), or
+    - a **graceful departure emptied the key's storage domain** (content is
+      pinned inside its domain and cannot follow the leaver out).
+
+    Any other transition to the lost state is recorded as an
+    ``oracle-durability`` violation; :func:`check_durability` drains them
+    at the next quiescent point.
+    """
+
+    def __init__(self, net: SimulatedCrescendo, data) -> None:
+        self.net = net
+        self.data = data
+        self.crashes_since_repair = 0
+        self.known_lost: Set[int] = set()
+        self.violations: List[Violation] = []
+        net.listeners.append(self)
+
+    def drain(self) -> List[Violation]:
+        """Collected violations since the last drain (clears the buffer)."""
+        out, self.violations = self.violations, []
+        return out
+
+    def _newly_lost(self) -> List[int]:
+        fresh = [
+            kh
+            for kh, holders in self.data.holders.items()
+            if not holders and kh not in self.known_lost
+        ]
+        self.known_lost.update(fresh)
+        return fresh
+
+    def _flag(self, key_hash: int, message: str) -> None:
+        self.violations.append(
+            Violation(check="oracle-durability", family="data", message=message)
+        )
+
+    # ------------------------------------------------------------- listeners
+
+    def node_joined(self, node_id: int) -> None:
+        """A join rebalance may never lose a key absent unrepaired crashes."""
+        for kh in self._newly_lost():
+            if self.crashes_since_repair == 0:
+                self._flag(
+                    kh,
+                    f"key {self.data.items[kh].key!r} went lost at a join "
+                    f"rebalance with no crash since the last repair",
+                )
+        self.crashes_since_repair = 0
+
+    def node_leaving(self, node_id: int) -> None:
+        """A graceful departure may only lose keys whose domain it empties."""
+        for kh in self._newly_lost():
+            domain = self.data.items[kh].storage_domain
+            survivors = [
+                n
+                for n in self.net.hierarchy.members(domain)
+                if n != node_id and self.net.nodes[n].alive
+            ]
+            if survivors:
+                self._flag(
+                    kh,
+                    f"key {self.data.items[kh].key!r} went lost on the "
+                    f"graceful departure of {node_id} although domain "
+                    f"{domain!r} still has {len(survivors)} live members",
+                )
+
+    def node_crashed(self, node_id: int) -> None:
+        """Crashes legitimize losses until the next repair-bearing event."""
+        self.crashes_since_repair += 1
+
+    def stabilized(self) -> None:
+        """A stabilization repair may only lose crash-orphaned keys."""
+        for kh in self._newly_lost():
+            if self.crashes_since_repair == 0:
+                self._flag(
+                    kh,
+                    f"key {self.data.items[kh].key!r} went lost at "
+                    f"stabilization with no crash since the last repair",
+                )
+        self.crashes_since_repair = 0
+
+
+def check_durability(
+    net: SimulatedCrescendo,
+    data,
+    monitor: Optional[DurabilityMonitor] = None,
+    max_reported: int = 20,
+) -> List[Violation]:
+    """Quiescent-point durability oracle over a data layer.
+
+    Drains the monitor's loss classifications, then demands for every
+    non-lost key: all holders alive, all holders inside the key's storage
+    domain (domain scoping survives churn and migration), and the holder
+    list exactly equal to the recomputed desired replica run (responsible
+    node + ring predecessors over the live domain members) — i.e. repair
+    has re-converged.  Call at a stabilized point (the layer rebalances on
+    the ``stabilized`` hook), as the fuzzer's checkpoints do.
+    """
+    out: List[Violation] = [] if monitor is None else monitor.drain()
+
+    def violation(message: str, **kw) -> Violation:
+        return Violation(
+            check="oracle-durability", family="data", message=message, **kw
+        )
+
+    live = {n for n, node in net.nodes.items() if node.alive}
+    members_cache: Dict[DomainPath, List[int]] = {}
+    reported = 0
+    for key_hash, holders in data.holders.items():
+        if not holders:
+            continue  # lost keys are the monitor's business
+        item = data.items[key_hash]
+        domain = item.storage_domain
+        members = members_cache.get(domain)
+        if members is None:
+            members = sorted(
+                n for n in net.hierarchy.members(domain) if n in live
+            )
+            members_cache[domain] = members
+        problems = []
+        dead = [h for h in holders if h not in live]
+        if dead:
+            problems.append(f"dead holders {dead}")
+        outside = [
+            h
+            for h in holders
+            if h not in dead and not is_ancestor(domain, net.hierarchy.path_of(h))
+        ]
+        if outside:
+            problems.append(f"holders {outside} outside domain {domain!r}")
+        if members:
+            start = predecessor_index(members, item.key_hash)
+            count = min(data.replicas, len(members))
+            desired = [members[(start - i) % len(members)] for i in range(count)]
+        else:
+            desired = []
+        if holders != desired:
+            problems.append(f"holders {holders} not re-converged to {desired}")
+        if problems:
+            out.append(
+                violation(
+                    f"key {item.key!r}: " + "; ".join(problems),
+                )
+            )
+            reported += 1
+            if reported >= max_reported:
+                out.append(violation("... further durability findings suppressed"))
+                break
     _count_check(len(out))
     return out

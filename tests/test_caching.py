@@ -174,3 +174,119 @@ class TestCachingStore:
         caching.get(src, "rate")
         caching.get(src, "rate")
         assert 0.0 < caching.stats.hit_rate < 1.0
+
+
+# --------------------------------------------------- replacement properties
+
+
+class ModelCache:
+    """Executable spec of the level-aware policy: a recency-ordered list.
+
+    Entries are ``[key, value, level]`` oldest-first; eviction removes the
+    first (least recently used) entry carrying the maximum level, and a
+    re-inserted key keeps the smaller of its old and new level labels.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries = []
+        self.evictions = 0
+
+    def get(self, key):
+        for row in self.entries:
+            if row[0] == key:
+                self.entries.remove(row)
+                self.entries.append(row)
+                return row[1]
+        return None
+
+    def put(self, key, value, level):
+        for row in list(self.entries):
+            if row[0] == key:
+                level = min(level, row[2])
+                self.entries.remove(row)
+        self.entries.append([key, value, level])
+        while len(self.entries) > self.capacity:
+            worst = max(row[2] for row in self.entries)
+            victim = next(row for row in self.entries if row[2] == worst)
+            self.entries.remove(victim)
+            self.evictions += 1
+
+    def state(self):
+        return [(row[0], row[1], row[2]) for row in self.entries]
+
+
+class TestLevelAwareCacheProperties:
+    """Randomized op sequences against the executable spec, step for step."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_model(self, seed):
+        rng = random.Random(f"cache-model:{seed}")
+        capacity = rng.randrange(1, 8)
+        cache = LevelAwareCache(capacity)
+        model = ModelCache(capacity)
+        for step in range(400):
+            key = rng.randrange(12)
+            if rng.random() < 0.4:
+                assert cache.get(key) == model.get(key), f"step {step}"
+            else:
+                value, level = f"v{step}", rng.randrange(1, 6)
+                cache.put(key, value, level)
+                model.put(key, value, level)
+            assert [
+                (k, v, lvl) for k, (v, lvl) in cache._entries.items()
+            ] == model.state(), f"step {step}"
+            assert cache.evictions == model.evictions
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eviction_takes_lru_of_deepest_level(self, seed):
+        rng = random.Random(f"cache-tie:{seed}")
+        cache = LevelAwareCache(6)
+        for key in range(6):
+            cache.put(key, key, rng.randrange(1, 4))
+        order = list(range(6))
+        rng.shuffle(order)
+        for key in order:
+            cache.get(key)  # refresh recency in a random order
+        worst = max(level for _, level in cache._entries.values())
+        expected_victim = next(
+            k for k, (_, level) in cache._entries.items() if level == worst
+        )
+        cache.put(99, "spill", 1)
+        assert cache.get(expected_victim) is None
+        assert cache.get(99) == "spill"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reinserted_keys_never_deepen(self, seed):
+        rng = random.Random(f"cache-level:{seed}")
+        cache = LevelAwareCache(32)
+        floor = {}
+        for step in range(200):
+            key = rng.randrange(8)
+            level = rng.randrange(1, 7)
+            cache.put(key, step, level)
+            floor[key] = min(floor.get(key, level), level)
+            assert cache.level_of(key) == floor[key]
+
+
+class TestCacheMetrics:
+    def test_storage_cache_counters_recorded(self, env):
+        from repro.obs import metrics as obs_metrics
+
+        net, store, rng = env
+        caching = CachingStore(store, capacity=1)
+        owner = net.node_ids[3]
+        with obs_metrics.collecting() as registry:
+            for i in range(20):
+                caching.put(owner, f"ctr{i}", i)
+            src = net.node_ids[23]
+            for i in range(20):
+                caching.get(src, f"ctr{i}")
+            caching.get(src, "ctr0")
+            assert registry.counter("storage.cache.misses").value >= 20
+            assert registry.counter("storage.cache.insertions").value >= 20
+            assert registry.counter("storage.gets").value == 0  # caching path
+            assert (
+                registry.counter("storage.cache.evictions").value
+                == caching.eviction_count()
+            )

@@ -30,7 +30,7 @@ from repro.analysis.metrics import sample_routing_compiled
 from repro.core.hierarchy import build_uniform_hierarchy
 from repro.core.idspace import IdSpace
 from repro.dhts.crescendo import CrescendoNetwork
-from repro.experiments import fig5_hops
+from repro.experiments import fig5_hops, fig6_stretch
 from repro.obs import metrics as obs_metrics
 from repro.perf import arena as perf_arena
 from repro.perf.arena import (
@@ -245,6 +245,21 @@ class TestFig5Identity:
             return counters, histograms
 
         assert route_metrics(arena=True) == route_metrics(arena=False)
+
+
+class TestFig6Identity:
+    def test_arena_grid_matches_object_grid(self):
+        plain = fig6_stretch.measurements("smoke", jobs=1, arena=False)
+        serial = fig6_stretch.measurements("smoke", jobs=1, arena=True)
+        parallel = fig6_stretch.measurements("smoke", jobs=2, arena=True)
+        assert serial == plain  # exact float equality, not approx
+        assert parallel == plain
+
+    def test_grid_leaves_no_segments_or_setups(self):
+        before = perf_arena.live_arena_bytes()
+        fig6_stretch.measurements("smoke", jobs=2, arena=True)
+        assert perf_arena.live_arena_bytes() == before
+        assert fig6_stretch._SETUPS == {}
 
 
 class TestStreamingConstruction:
