@@ -19,6 +19,7 @@ from . import (
     fig9_multicast,
     inflight_study,
     isolation_study,
+    scenario_zoo,
     theorems,
     zoo,
 )
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "fig9": fig9_multicast,
     "inflight": inflight_study,
     "isolation": isolation_study,
+    "scenarios": scenario_zoo,
     "theorems": theorems,
     "zoo": zoo,
 }

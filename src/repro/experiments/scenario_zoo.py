@@ -1,0 +1,29 @@
+"""The scenario zoo as an experiment: the matrix summary table.
+
+Wraps :func:`repro.scenarios.runner.run_matrix` in the standard
+experiment interface (``run(scale) -> Table`` / ``measurements(scale) ->
+dict``) so ``python -m repro.experiments scenarios`` reports the named
+production-traffic scenarios alongside the paper figures.  The full
+artifact (family table, JSON, markdown, fixtures, negative controls)
+lives behind ``python -m repro.scenarios``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.tables import Table
+from ..scenarios.runner import run_matrix
+
+#: experiment scale -> scenario scale ("smoke" keeps the gating jobs fast).
+_SCALES = {"smoke": "smoke", "small": "smoke", "paper": "full"}
+
+
+def run(scale: str = "small") -> Table:
+    """The scenario-matrix summary table at the mapped scale."""
+    return run_matrix(scale=_SCALES.get(scale, "smoke")).summary_table()
+
+
+def measurements(scale: str = "small") -> Dict[str, object]:
+    """The full matrix document (what the JSON artifact contains)."""
+    return run_matrix(scale=_SCALES.get(scale, "smoke")).to_dict()

@@ -32,6 +32,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report.add_argument("--json", metavar="PATH", help="also write the table as JSON")
     report.add_argument("--csv", metavar="PATH", help="also write the table as CSV")
     report.add_argument(
+        "--markdown", metavar="PATH", help="also write the table as markdown"
+    )
+    report.add_argument(
         "--quiet", action="store_true", help="suppress the text table on stdout"
     )
     args = parser.parse_args(argv)
@@ -43,6 +46,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(slo.to_csv() + "\n")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(slo.to_markdown() + "\n")
     if not args.quiet:
         print(slo.render())
     return 0

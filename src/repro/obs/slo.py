@@ -142,6 +142,26 @@ class SLOReport:
             )
         return "\n".join(lines)
 
+    def to_markdown(self, title: str = "SLO report") -> str:
+        """GitHub-flavoured markdown table (for CI artifacts)."""
+        if not self.rows:
+            return f"**{title}**\n\nno slo.* instruments found in this snapshot"
+        lines = [
+            f"**{title}**",
+            "",
+            "| family | level | samples | avail | p50 ms | p95 ms "
+            "| p99 ms | stretch |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        for r in self.rows:
+            stretch = f"{r.stretch:.3f}" if r.stretch else "-"
+            lines.append(
+                f"| {r.family} | {r.level} | {r.samples} "
+                f"| {r.availability:.3f} | {r.p50_ms:.2f} | {r.p95_ms:.2f} "
+                f"| {r.p99_ms:.2f} | {stretch} |"
+            )
+        return "\n".join(lines)
+
     def render(self) -> str:
         """An aligned text table (what the report CLI prints)."""
         if not self.rows:

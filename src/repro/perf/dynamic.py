@@ -161,6 +161,20 @@ class NodeArena:
             ring = self._rings[path[:depth]]
             del ring[bisect_left(ring, node_id)]
 
+    def revive(self, node_id: int) -> None:
+        """Re-insert a crashed-but-unforgotten node into the live arrays.
+
+        The inverse of :meth:`crash`, used when a partition heals: the
+        node's path registration survived the suspension, so the sorted
+        ring arrays are rebuilt by insertion only.
+        """
+        if node_id in self._live or node_id not in self._paths:
+            return
+        self._live.add(node_id)
+        path = self._paths[node_id]
+        for depth in range(len(path) + 1):
+            insort(self._rings[path[:depth]], node_id)
+
     def remove(self, node_id: int, path: DomainPath) -> None:
         """Forget a node entirely (idempotent after :meth:`crash`)."""
         self.crash(node_id)
@@ -239,6 +253,16 @@ class FastSimulatedCrescendo(SimulatedCrescendo):
         self.arena.crash(node.node_id)
         self._epoch += 1
         self._members_epoch += 1
+        self._invalidate(node.node_id)
+
+    def _membership_revived(self, node: ProtocolNode) -> None:
+        super()._membership_revived(node)
+        self.arena.revive(node.node_id)
+        self._epoch += 1
+        self._members_epoch += 1
+        # Same invalidation discipline as a crash, in reverse: any memoized
+        # stabilize step that read this node (even as a dead contact) may
+        # now behave differently, so its memo must go.
         self._invalidate(node.node_id)
 
     def _membership_removed(self, node_id: int, path: DomainPath) -> None:

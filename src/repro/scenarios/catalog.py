@@ -1,0 +1,188 @@
+"""The named scenarios: production traffic shapes the paper argues about.
+
+Each factory takes a ``scale`` (``"smoke"`` for the gating PR job and the
+test suite, ``"full"`` for the nightly matrix) and returns a
+:class:`~repro.scenarios.dsl.ScenarioSpec`.  Five named shapes plus one
+negative control:
+
+- ``flash_crowd`` — Zipf-1.25 key skew concentrated on one domain's ids,
+  with a put/get data layer riding along for the durability oracle;
+- ``diurnal`` — day/night churn waves (join wave, peak traffic, drain
+  wave with crashes, quiet traffic) over two cycles;
+- ``regional_failure`` — a whole subtree crashes at once, the survivors
+  stabilize and serve, then the region rejoins as fresh capacity;
+- ``partition_rejoin`` — a subtree goes dark (state retained), the
+  reachable side routes around it, the partition heals and repair runs;
+- ``partition_noheal`` — the negative control: the partition rejoins but
+  post-rejoin repair never runs, so the stale ring state *must* trip the
+  protocol-state oracle (``expect_violations=True``);
+- ``slow_join`` — a datacenter comes online: a large ramped join wave
+  into one domain, stabilizing every few joins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .dsl import Phase, ScenarioSpec
+
+SCALES = ("smoke", "full")
+
+#: The hot / failing / joining domains, fixed across scenarios so the
+#: matrix rows are comparable (the domain tree is the fuzzer's 3 x 2).
+HOT_DOMAIN = ("a", "x")
+FAIL_DOMAIN = ("b",)
+DARK_DOMAIN = ("c",)
+JOIN_DOMAIN = ("b", "y")
+
+
+def _pick(scale: str, smoke: int, full: int) -> int:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r} (known: {', '.join(SCALES)})")
+    return smoke if scale == "smoke" else full
+
+
+def flash_crowd(scale: str = "full") -> ScenarioSpec:
+    """Zipf-1.25 lookup bursts on one domain's ids over a put/get mix."""
+    burst = _pick(scale, 40, 240)
+    background = _pick(scale, 30, 160)
+    return ScenarioSpec(
+        name="flash_crowd",
+        description=(
+            "Zipf-1.25 key skew on one domain's ids after background load; "
+            "a 2-replica data layer rides along for the durability oracle"
+        ),
+        population=_pick(scale, 30, 72),
+        data_replicas=2,
+        phases=(
+            Phase(
+                "mix",
+                count=background,
+                weights=Phase.mix_weights(
+                    {"join": 0.12, "leave": 0.06, "crash": 0.04,
+                     "lookup": 0.43, "stabilize": 0.10,
+                     "put": 0.10, "get": 0.15}
+                ),
+            ),
+            Phase("checkpoint"),
+            Phase("traffic", count=burst, domain=HOT_DOMAIN, zipf=1.25),
+            Phase("stabilize"),
+            Phase("traffic", count=burst, domain=HOT_DOMAIN, zipf=1.25),
+            Phase("checkpoint"),
+        ),
+    )
+
+
+def diurnal(scale: str = "full") -> ScenarioSpec:
+    """Two day/night churn cycles: join wave, peak, drain, quiet."""
+    wave = _pick(scale, 8, 36)
+    peak = _pick(scale, 25, 150)
+    cycle: Tuple[Phase, ...] = (
+        Phase("join_wave", count=wave),
+        Phase("traffic", count=peak),
+        Phase("checkpoint"),
+        Phase("leave_wave", count=wave // 2),
+        Phase("crash_wave", count=max(1, wave // 4)),
+        Phase("stabilize", count=2),
+        Phase("traffic", count=peak // 2),
+        Phase("checkpoint"),
+    )
+    return ScenarioSpec(
+        name="diurnal",
+        description="two day/night churn cycles: join wave, peak "
+        "traffic, drain wave with crashes, quiet traffic",
+        population=_pick(scale, 28, 64),
+        phases=cycle * 2,
+    )
+
+
+def regional_failure(scale: str = "full") -> ScenarioSpec:
+    """Kill the ``("b",)`` subtree, stabilize past it, refill it."""
+    traffic = _pick(scale, 25, 140)
+    rejoin = _pick(scale, 8, 30)
+    return ScenarioSpec(
+        name="regional_failure",
+        description="a whole subtree crashes at once; survivors "
+        "stabilize and serve; the region rejoins as fresh capacity",
+        population=_pick(scale, 30, 72),
+        phases=(
+            Phase("traffic", count=traffic),
+            Phase("checkpoint"),
+            Phase("kill_domain", domain=FAIL_DOMAIN),
+            Phase("stabilize", count=2),
+            Phase("traffic", count=traffic),
+            Phase("checkpoint"),
+            Phase("join_wave", count=rejoin, domain=FAIL_DOMAIN, stagger=4),
+            Phase("traffic", count=traffic // 2),
+            Phase("checkpoint"),
+        ),
+    )
+
+
+def partition_rejoin(scale: str = "full", repair: bool = True) -> ScenarioSpec:
+    """A subtree goes dark and rejoins; ``repair=False`` is the control."""
+    traffic = _pick(scale, 25, 140)
+    tail: Tuple[Phase, ...]
+    if repair:
+        tail = (Phase("heal"), Phase("stabilize", count=2), Phase("checkpoint"))
+    else:
+        # Negative control: the subtree rejoins with its pre-partition
+        # ring state and repair never runs — the post-replay protocol
+        # audit must find stale successors / asymmetric leaf sets.
+        tail = (Phase("heal"),)
+    return ScenarioSpec(
+        name="partition_rejoin" if repair else "partition_noheal",
+        description=(
+            "a subtree goes dark and the reachable side routes around it; "
+            + ("the partition heals and repair re-converges"
+               if repair
+               else "it rejoins but repair is disabled (must trip oracles)")
+        ),
+        population=_pick(scale, 30, 72),
+        expect_violations=not repair,
+        phases=(
+            Phase("traffic", count=traffic),
+            Phase("checkpoint"),
+            Phase("partition", domain=DARK_DOMAIN),
+            # The reachable side keeps maintaining: its rings re-route
+            # around the dark subtree, so the rejoin below brings back
+            # members the survivors no longer point at.
+            Phase("stabilize", count=2),
+            Phase("traffic", count=traffic),
+        )
+        + tail,
+    )
+
+
+def slow_join(scale: str = "full") -> ScenarioSpec:
+    """A datacenter comes online: a staggered ramp into one domain."""
+    joiners = _pick(scale, 14, 60)
+    traffic = _pick(scale, 25, 140)
+    return ScenarioSpec(
+        name="slow_join",
+        description="a datacenter comes online: a large ramped join "
+        "wave into one domain, stabilizing every few joins",
+        population=_pick(scale, 24, 48),
+        phases=(
+            Phase("checkpoint"),
+            Phase("join_wave", count=joiners, domain=JOIN_DOMAIN, stagger=3),
+            Phase("stabilize"),
+            Phase("traffic", count=traffic),
+            Phase("checkpoint"),
+        ),
+    )
+
+
+CATALOG: Dict[str, Callable[[str], ScenarioSpec]] = {
+    "flash_crowd": flash_crowd,
+    "diurnal": diurnal,
+    "regional_failure": regional_failure,
+    "partition_rejoin": lambda scale="full": partition_rejoin(scale, repair=True),
+    "partition_noheal": lambda scale="full": partition_rejoin(scale, repair=False),
+    "slow_join": slow_join,
+}
+
+
+def scenario_names() -> List[str]:
+    """Catalog names in a stable order (controls after their scenarios)."""
+    return list(CATALOG)

@@ -176,15 +176,22 @@ class Event:
     """
 
     kind: str  # join | leave | crash | lookup | stabilize | checkpoint | put | get
+    #            | kill_domain | partition | heal
     node: Optional[int] = None  # join: the id to add
-    path: Optional[DomainPath] = None  # join: its leaf domain
+    #: join: its leaf domain; kill_domain/partition: the domain prefix to
+    #: take down (() = everything); heal: revive only this prefix's
+    #: suspended nodes (None = all suspended nodes).
+    path: Optional[DomainPath] = None
     rank: Optional[int] = None  # leave/crash/lookup/put/get: live-list index
     key: Optional[int] = None  # lookup: the key; put/get: the data key token
     #: put: storage-domain depth — the origin's path truncated to this many
     #: components (0 = global).  Clamped to the origin's actual depth.
     depth: Optional[int] = None
 
-    KINDS = ("join", "leave", "crash", "lookup", "stabilize", "checkpoint", "put", "get")
+    KINDS = (
+        "join", "leave", "crash", "lookup", "stabilize", "checkpoint",
+        "put", "get", "kill_domain", "partition", "heal",
+    )
 
 
 @dataclass
@@ -195,6 +202,15 @@ class ScheduleReport:
     skipped_joins: int = 0
     leaves: int = 0
     crashes: int = 0
+    #: correlated-failure events executed (``kill_domain``) and the nodes
+    #: they crashed (the latter are *not* double-counted in ``crashes``).
+    domain_kills: int = 0
+    killed: int = 0
+    #: partition events executed and the nodes they suspended / revived.
+    partitions: int = 0
+    suspended: int = 0
+    heals: int = 0
+    revived: int = 0
     lookups_attempted: int = 0
     lookups_delivered: int = 0
     stabilize_rounds: int = 0
@@ -227,6 +243,11 @@ def run_schedule(
     Events that cannot execute are skipped rather than failed — a join of
     an existing id, or a leave/crash that would push the live population
     below ``min_population`` — so shrunk sub-schedules always replay.
+    The correlated events honour the same floor: ``kill_domain`` and
+    ``partition`` take down a domain subtree node by node (sorted id
+    order) and stop early rather than drop the live population below
+    ``min_population``; ``heal`` revives whatever is suspended under its
+    prefix (everything when the prefix is absent).
     ``on_checkpoint(net, index, converged)`` runs after each checkpoint's
     stabilization; ``converged`` is False when
     :meth:`~repro.simulation.protocol.SimulatedCrescendo.stabilize_to_convergence`
@@ -259,6 +280,49 @@ def run_schedule(
             if len(live) > min_population:
                 net.crash(live[event.rank % len(live)])
                 report.crashes += 1
+        elif event.kind == "kill_domain":
+            # Correlated regional failure: crash every live node under the
+            # prefix (sorted id order), stopping at the population floor.
+            prefix = event.path or ()
+            depth = len(prefix)
+            victims = [n for n in live if net.nodes[n].path[:depth] == prefix]
+            report.domain_kills += 1
+            remaining = len(live)
+            for victim in victims:
+                if remaining <= min_population:
+                    break
+                net.crash(victim)
+                report.killed += 1
+                remaining -= 1
+        elif event.kind == "partition":
+            # The prefix's subtree goes dark (state retained; see
+            # SimulatedCrescendo.suspend): the reachable side routes
+            # around it until a later ``heal`` event revives it.
+            prefix = event.path or ()
+            depth = len(prefix)
+            victims = [n for n in live if net.nodes[n].path[:depth] == prefix]
+            report.partitions += 1
+            remaining = len(live)
+            for victim in victims:
+                if remaining <= min_population:
+                    break
+                net.suspend(victim)
+                report.suspended += 1
+                remaining -= 1
+        elif event.kind == "heal":
+            # Revive suspended nodes (all of them, or one prefix's worth).
+            # Their ring state is stale until stabilization repairs it —
+            # deliberately: scheduling (or omitting) the repair is what
+            # the partition/rejoin scenarios and their negative controls
+            # exercise.
+            report.heals += 1
+            for node_id in net.suspended_ids():
+                if (
+                    event.path is None
+                    or net.nodes[node_id].path[: len(event.path)] == event.path
+                ):
+                    net.revive(node_id)
+                    report.revived += 1
         elif event.kind == "lookup":
             if len(live) >= 2:
                 src = live[event.rank % len(live)]

@@ -110,6 +110,11 @@ class SimulatedCrescendo:
         self.leaf_set_size = leaf_set_size
         self.nodes: Dict[int, ProtocolNode] = {}
         self.hierarchy = Hierarchy()
+        #: nodes dark behind a network partition: not alive (the reachable
+        #: side routes around them exactly as around crashes) but exempt
+        #: from the stabilization purge, so their frozen protocol state
+        #: survives until :meth:`revive`.
+        self._suspended: Set[int] = set()
         #: observers implementing any of node_joined / node_leaving /
         #: node_crashed / stabilized (see repro.simulation.data.DataLayer).
         self.listeners: List = []
@@ -128,6 +133,10 @@ class SimulatedCrescendo:
 
     def _membership_removed(self, node_id: int, path: DomainPath) -> None:
         """A node was forgotten (called after ``nodes``/``hierarchy`` updates)."""
+        self._live_cache = None
+
+    def _membership_revived(self, node: ProtocolNode) -> None:
+        """A suspended node came back (``alive`` already flipped back)."""
         self._live_cache = None
 
     def _touch(self, node_id: int) -> None:
@@ -492,8 +501,43 @@ class SimulatedCrescendo:
             if hasattr(listener, "node_crashed"):
                 listener.node_crashed(node_id)
 
+    # ----------------------------------------------------------- partitions
+
+    def suspend(self, node_id: int) -> None:
+        """Cut a node off behind a partition (dark, but state retained).
+
+        From the reachable side this is indistinguishable from a crash —
+        the node stops answering, lookups route around it, stabilization
+        repairs leaf sets past it — except that its frozen protocol state
+        is *not* purged, mirroring a real partition where the far side
+        keeps its tables.  :meth:`revive` flips it back; repairing the now
+        stale state is the caller's business (stabilize rounds), which is
+        exactly the partition/rejoin hazard the scenario oracles probe.
+        No protocol messages are exchanged (the cut is silent).
+        """
+        node = self.nodes[node_id]
+        if not node.alive:
+            raise ValueError(f"node {node_id} is not alive (cannot suspend)")
+        node.alive = False
+        self._suspended.add(node_id)
+        self._membership_crashed(node)
+
+    def revive(self, node_id: int) -> None:
+        """Bring a suspended node back with its (stale) protocol state."""
+        if node_id not in self._suspended:
+            raise ValueError(f"node {node_id} is not suspended")
+        self._suspended.discard(node_id)
+        node = self.nodes[node_id]
+        node.alive = True
+        self._membership_revived(node)
+
+    def suspended_ids(self) -> List[int]:
+        """Sorted ids of the nodes currently dark behind a partition."""
+        return sorted(self._suspended)
+
     def _forget(self, node_id: int) -> None:
         path = self.nodes[node_id].path
+        self._suspended.discard(node_id)
         del self.nodes[node_id]
         self.hierarchy.remove(node_id)
         self._membership_removed(node_id, path)
@@ -531,7 +575,13 @@ class SimulatedCrescendo:
             for depth in range(node.leaf_depth, -1, -1):
                 self._stabilize_ring(node, depth)
         # Purge crashed nodes whose state no-one references any more.
-        for dead in [n for n, node in self.nodes.items() if not node.alive]:
+        # Suspended nodes are exempt: they are dark, not gone, and must
+        # come back with their state when the partition heals.
+        for dead in [
+            n
+            for n, node in self.nodes.items()
+            if not node.alive and n not in self._suspended
+        ]:
             self._forget(dead)
         for listener in self.listeners:
             if hasattr(listener, "stabilized"):

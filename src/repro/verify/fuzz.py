@@ -380,6 +380,105 @@ def shrink_schedule(
 
 # ------------------------------------------------------------ serialization
 
+#: Per event kind: (required fields, optional fields).  Everything else —
+#: including fields valid for *other* kinds — is rejected, so a fixture
+#: that was hand-edited into nonsense fails loudly instead of replaying
+#: as something subtly different.
+EVENT_FIELDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "join": (("node", "path"), ()),
+    "leave": (("rank",), ()),
+    "crash": (("rank",), ()),
+    "lookup": (("rank", "key"), ()),
+    "put": (("rank", "key"), ("depth",)),
+    "get": (("rank", "key"), ()),
+    "stabilize": ((), ()),
+    "checkpoint": ((), ()),
+    "kill_domain": (("path",), ()),
+    "partition": (("path",), ()),
+    "heal": ((), ("path",)),
+}
+assert set(EVENT_FIELDS) == set(Event.KINDS)
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """One schedule event as a JSON-ready dict (``None`` fields omitted)."""
+    return {
+        "kind": event.kind,
+        **({"node": event.node} if event.node is not None else {}),
+        **({"path": list(event.path)} if event.path is not None else {}),
+        **({"rank": event.rank} if event.rank is not None else {}),
+        **({"key": event.key} if event.key is not None else {}),
+        **({"depth": event.depth} if event.depth is not None else {}),
+    }
+
+
+def _int_field(doc: Dict, name: str, where: str) -> Optional[int]:
+    value = doc.get(name)
+    if value is None:
+        return None
+    # bool is an int subclass; a fixture saying "rank": true is malformed.
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(
+            f"{where}: {name} must be a non-negative integer, got {value!r}"
+        )
+    return value
+
+
+def _path_field(doc: Dict, where: str) -> Optional[DomainPath]:
+    raw = doc.get("path")
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not all(isinstance(c, str) for c in raw):
+        raise ValueError(
+            f"{where}: path must be a list of domain-name strings, got {raw!r}"
+        )
+    return tuple(raw)
+
+
+def event_from_dict(doc: object, index: int = 0) -> Event:
+    """Parse and validate one serialized event.
+
+    Rejects unknown kinds, missing required fields, fields that do not
+    belong to the kind, and ill-typed values — each with an error naming
+    the event index and the offence, so a broken fixture points at its
+    own defect instead of failing (or worse, passing) downstream.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"event {index}: expected an object, got {doc!r}")
+    kind = doc.get("kind")
+    if kind not in EVENT_FIELDS:
+        raise ValueError(
+            f"event {index}: unknown kind {kind!r} "
+            f"(known: {', '.join(Event.KINDS)})"
+        )
+    where = f"event {index} ({kind})"
+    required, optional = EVENT_FIELDS[kind]
+    allowed = {"kind", *required, *optional}
+    unexpected = sorted(set(doc) - allowed)
+    if unexpected:
+        raise ValueError(
+            f"{where}: unexpected field(s) {', '.join(unexpected)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+    missing = sorted(set(required) - set(doc))
+    if missing:
+        raise ValueError(f"{where}: missing required field(s) {', '.join(missing)}")
+    return Event(
+        kind=kind,
+        node=_int_field(doc, "node", where),
+        path=_path_field(doc, where),
+        rank=_int_field(doc, "rank", where),
+        key=_int_field(doc, "key", where),
+        depth=_int_field(doc, "depth", where),
+    )
+
+
+def events_from_docs(docs: object, where: str = "fixture") -> List[Event]:
+    """Parse a serialized event list, validating every entry."""
+    if not isinstance(docs, list):
+        raise ValueError(f"{where}: events must be a list, got {docs!r}")
+    return [event_from_dict(doc, index) for index, doc in enumerate(docs)]
+
 
 def schedule_to_json(config: FuzzConfig, events: Sequence[Event]) -> str:
     """A replayable counterexample document (fixture format)."""
@@ -398,45 +497,85 @@ def schedule_to_json(config: FuzzConfig, events: Sequence[Event]) -> str:
                 else {}
             ),
             "expect_violations": config.mutate_family is not None,
-            "events": [
-                {
-                    "kind": e.kind,
-                    **({"node": e.node} if e.node is not None else {}),
-                    **({"path": list(e.path)} if e.path is not None else {}),
-                    **({"rank": e.rank} if e.rank is not None else {}),
-                    **({"key": e.key} if e.key is not None else {}),
-                    **({"depth": e.depth} if e.depth is not None else {}),
-                }
-                for e in events
-            ],
+            "events": [event_to_dict(e) for e in events],
         },
         indent=2,
     )
 
 
-def schedule_from_json(text: str) -> Tuple[FuzzConfig, List[Event], bool]:
-    """Parse a fixture; returns (config, events, expect_violations)."""
-    doc = json.loads(text)
-    config = FuzzConfig(
-        seed=doc["seed"],
-        events=len(doc["events"]),
-        families=tuple(doc["families"]),
-        population=doc["population"],
-        bits=doc.get("bits", 32),
-        mutate_family=doc.get("mutate_family"),
-        mutate_kind=doc.get("mutate_kind", "drop"),
-        routing_pairs=doc.get("routing_pairs", 32),
-        data_replicas=doc.get("data_replicas"),
-    )
-    events = [
-        Event(
-            kind=e["kind"],
-            node=e.get("node"),
-            path=tuple(e["path"]) if "path" in e else None,
-            rank=e.get("rank"),
-            key=e.get("key"),
-            depth=e.get("depth"),
+def _config_int(doc: Dict, name: str, default=None, minimum: int = 0) -> Optional[int]:
+    if name not in doc:
+        if default is not None or name in ("mutate_family", "data_replicas"):
+            return default
+        raise ValueError(f"fixture: missing required key {name!r}")
+    value = doc[name]
+    if value is None and name == "data_replicas":
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ValueError(
+            f"fixture: {name} must be an integer >= {minimum}, got {value!r}"
         )
-        for e in doc["events"]
-    ]
+    return value
+
+
+def schedule_from_json(text: str) -> Tuple[FuzzConfig, List[Event], bool]:
+    """Parse a fixture; returns (config, events, expect_violations).
+
+    The document is fully validated — unknown event kinds, malformed
+    event fields, unknown families and ill-typed config values all raise
+    :class:`ValueError` with a message naming the offending entry.
+    """
+    from .builders import EXTRA_FAMILIES
+    from .mutate import KINDS as MUTATION_KINDS
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ValueError(f"fixture: not valid JSON ({err})") from err
+    if not isinstance(doc, dict):
+        raise ValueError(f"fixture: expected a JSON object, got {doc!r}")
+    if "events" not in doc:
+        raise ValueError("fixture: missing required key 'events'")
+    events = events_from_docs(doc["events"])
+
+    known_families = FAMILIES + EXTRA_FAMILIES
+    families = doc.get("families")
+    if families is None:
+        raise ValueError("fixture: missing required key 'families'")
+    if not isinstance(families, list) or not all(
+        isinstance(f, str) for f in families
+    ):
+        raise ValueError(f"fixture: families must be a list of names, got {families!r}")
+    unknown = [f for f in families if f not in known_families]
+    if unknown:
+        raise ValueError(
+            f"fixture: unknown families {unknown} "
+            f"(known: {', '.join(known_families)})"
+        )
+    mutate_family = doc.get("mutate_family")
+    if mutate_family is not None and mutate_family not in known_families:
+        raise ValueError(
+            f"fixture: unknown mutate_family {mutate_family!r} "
+            f"(known: {', '.join(known_families)})"
+        )
+    mutate_kind = doc.get("mutate_kind", "drop")
+    if mutate_kind not in MUTATION_KINDS:
+        raise ValueError(
+            f"fixture: unknown mutate_kind {mutate_kind!r} "
+            f"(known: {', '.join(MUTATION_KINDS)})"
+        )
+    bits = _config_int(doc, "bits", default=32, minimum=1)
+    if bits > 64:
+        raise ValueError(f"fixture: bits must be <= 64, got {bits}")
+    config = FuzzConfig(
+        seed=_config_int(doc, "seed"),
+        events=len(events),
+        families=tuple(families),
+        population=_config_int(doc, "population", minimum=1),
+        bits=bits,
+        mutate_family=mutate_family,
+        mutate_kind=mutate_kind,
+        routing_pairs=_config_int(doc, "routing_pairs", default=32),
+        data_replicas=_config_int(doc, "data_replicas", minimum=1),
+    )
     return config, events, bool(doc.get("expect_violations"))

@@ -33,6 +33,7 @@ class TestScaffolding:
             "inflight",
             "isolation",
             "theorems",
+            "scenarios",
             "zoo",
         }
 

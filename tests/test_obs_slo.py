@@ -204,6 +204,18 @@ def test_slo_report_exports():
     assert SLOReport([]).render() == "no slo.* instruments found in this snapshot"
 
 
+def test_slo_report_markdown():
+    report = SLOReport.from_snapshot(_recorded_registry().snapshot())
+    md = report.to_markdown(title="Nightly SLO").splitlines()
+    assert md[0] == "**Nightly SLO**"
+    header = md[2]
+    assert header.startswith("| family |")
+    assert "p99 ms" in header
+    assert md[3].startswith("|---")
+    assert sum(1 for line in md if line.startswith("| fam |")) == 3
+    assert "no slo.* instruments" in SLOReport([]).to_markdown()
+
+
 def test_report_cli(tmp_path, capsys):
     from repro.obs.__main__ import main
 
@@ -211,8 +223,18 @@ def test_report_cli(tmp_path, capsys):
     snapshot_path.write_text(_recorded_registry().snapshot().to_json())
     json_out = tmp_path / "slo.json"
     csv_out = tmp_path / "slo.csv"
+    md_out = tmp_path / "slo.md"
     code = main(
-        ["report", str(snapshot_path), "--json", str(json_out), "--csv", str(csv_out)]
+        [
+            "report",
+            str(snapshot_path),
+            "--json",
+            str(json_out),
+            "--csv",
+            str(csv_out),
+            "--markdown",
+            str(md_out),
+        ]
     )
     assert code == 0
     printed = capsys.readouterr().out
@@ -220,6 +242,7 @@ def test_report_cli(tmp_path, capsys):
     report = SLOReport.from_json_file(str(snapshot_path))
     assert json_out.read_text().strip().startswith("{")
     assert csv_out.read_text().splitlines()[0].startswith("family,")
+    assert md_out.read_text().startswith("**SLO report**")
     assert len(report) == 3
 
 

@@ -195,3 +195,66 @@ class TestMessageAccounting:
         used = net.stabilize()
         assert used > 0
         assert net.msgs.stats.counts["ping"] > 0
+
+
+class TestSuspendRevive:
+    """Partition primitives: dark-but-state-retained vs crashed-and-purged."""
+
+    def test_suspend_hides_node_but_keeps_state(self):
+        net, ids, rng = grown_network(size=40, seed=21)
+        victim = ids[7]
+        rings_before = {
+            d: list(net.nodes[victim].rings[d].successors)
+            for d in net.nodes[victim].rings
+        }
+        net.suspend(victim)
+        assert not net.nodes[victim].alive
+        assert victim in net.nodes
+        assert net.suspended_ids() == [victim]
+        assert victim not in net.live_view()
+        # Frozen state is untouched while dark.
+        for depth, succs in rings_before.items():
+            assert list(net.nodes[victim].rings[depth].successors) == succs
+
+    def test_stabilize_purges_crashed_but_not_suspended(self):
+        net, ids, rng = grown_network(size=40, seed=22)
+        suspended, crashed = ids[3], ids[11]
+        net.suspend(suspended)
+        net.crash(crashed)
+        for _ in range(3):
+            net.stabilize()
+        assert suspended in net.nodes, "suspended node was purged"
+        assert crashed not in net.nodes, "crashed node was never purged"
+        assert net.suspended_ids() == [suspended]
+
+    def test_revive_restores_membership(self):
+        net, ids, rng = grown_network(size=40, seed=23)
+        victim = ids[5]
+        before = set(net.live_view())
+        net.suspend(victim)
+        assert set(net.live_view()) == before - {victim}
+        net.revive(victim)
+        assert net.nodes[victim].alive
+        assert net.suspended_ids() == []
+        assert set(net.live_view()) == before
+
+    def test_suspend_requires_alive_revive_requires_suspended(self):
+        net, ids, rng = grown_network(size=20, seed=24)
+        net.crash(ids[2])
+        with pytest.raises(ValueError, match="not alive"):
+            net.suspend(ids[2])
+        with pytest.raises(ValueError, match="not suspended"):
+            net.revive(ids[3])
+        # A plain crash is not a suspension either.
+        with pytest.raises(ValueError, match="not suspended"):
+            net.revive(ids[2])
+
+    def test_forgetting_a_suspended_node_clears_the_mark(self):
+        net, ids, rng = grown_network(size=20, seed=25)
+        victim = ids[4]
+        net.suspend(victim)
+        net.revive(victim)
+        net.crash(victim)
+        net.stabilize()
+        assert victim not in net.nodes
+        assert net.suspended_ids() == []

@@ -1,0 +1,110 @@
+"""Bit-for-bit replay of the checked-in scenario fixtures, both engines.
+
+Each ``tests/fixtures/scenario_<name>.json`` was produced by the
+generator run recorded in its ``note`` field (compiled at smoke scale,
+seed 0; negative controls additionally ddmin-shrunk).  The ``expect``
+block pins every observable of the replay — event counts, final
+population, lookup/data outcome digests, total message cost, residual
+oracle violations and the exact latency sum — computed on the reference
+engine.  Replaying on *either* engine must reproduce all of it: any
+regression in the DSL substrate, the churn replay, either maintenance
+engine, the latency attach or the oracle stack shows up as a digest
+mismatch here without re-running the compiler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import __main__ as scenarios_cli
+from repro.scenarios.catalog import CATALOG
+from repro.scenarios.dsl import scenario_from_json
+from repro.scenarios.runner import run_scenario
+
+FIXTURES = Path(__file__).parent / "fixtures"
+NAMES = sorted(CATALOG)
+
+
+def _digest(value) -> str:
+    return hashlib.sha256(json.dumps(value).encode()).hexdigest()
+
+
+def _load(name):
+    text = (FIXTURES / f"scenario_{name}.json").read_text()
+    document = scenario_from_json(text)
+    expect = json.loads(text)["expect"]
+    return document, expect
+
+
+def test_every_catalog_scenario_has_a_fixture():
+    on_disk = {p.stem[len("scenario_"):] for p in FIXTURES.glob("scenario_*.json")}
+    assert on_disk == set(NAMES)
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_replays_bit_for_bit(name, engine):
+    document, expect = _load(name)
+    result = run_scenario(
+        document.spec,
+        seed=document.seed,
+        engine=engine,
+        families=(),
+        routing_pairs=0,
+        events=document.events,
+        latency=True,
+    )
+    report = result.report
+    observed = {
+        "joins": report.joins,
+        "leaves": report.leaves,
+        "crashes": report.crashes,
+        "killed": report.killed,
+        "suspended": report.suspended,
+        "revived": report.revived,
+        "checkpoints": report.checkpoints,
+        "final_population": report.final_population,
+        "lookups_attempted": report.lookups_attempted,
+        "lookups_delivered": report.lookups_delivered,
+        "puts": report.puts,
+        "data_gets": report.data_gets,
+        "outcomes_sha256": _digest(report.lookup_outcomes),
+        "paths_sha256": _digest(report.lookup_paths),
+        "data_outcomes_sha256": _digest(report.data_outcomes),
+        "messages": result.message_total,
+        "residual_violations": len(result.residual),
+        "lookup_ms_sum": sum(result.lookup_ms),
+    }
+    assert observed == expect, f"{name} no longer replays on {engine}"
+    assert result.failed == document.expect_violations
+
+
+def test_noheal_fixture_is_shrunk_and_still_trips():
+    document, expect = _load("partition_noheal")
+    assert document.expect_violations
+    # ddmin got it down to the single partition event: the reachable
+    # side's rings are instantly stale against live membership.
+    assert [e.kind for e in document.events] == ["partition"]
+    assert expect["residual_violations"] > 0
+
+
+@pytest.mark.parametrize("name", ["slow_join", "partition_noheal"])
+def test_cli_replay_exits_zero(name, capsys):
+    code = scenarios_cli.main(
+        [
+            "replay",
+            str(FIXTURES / f"scenario_{name}.json"),
+            "--families",
+            "chord",
+            "--routing-pairs",
+            "4",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    if name == "partition_noheal":
+        assert "tripped as expected" in out

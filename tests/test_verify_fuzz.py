@@ -6,12 +6,15 @@ runs are marked ``fuzz`` (deselected by default, exercised nightly).
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.simulation.churn import Event, run_schedule
 from repro.verify.fuzz import (
     FuzzConfig,
     bootstrap_network,
+    event_from_dict,
     generate_schedule,
     replay,
     run_fuzz,
@@ -53,6 +56,111 @@ class TestScheduleGeneration:
         assert parsed_config.seed == config.seed
         assert parsed_config.mutate_family == "chord"
         assert expect is True
+
+
+class TestScheduleParsing:
+    """schedule_from_json must reject malformed fixtures loudly."""
+
+    def _doc(self, **overrides):
+        doc = json.loads(
+            schedule_to_json(
+                FuzzConfig(seed=1, events=0, families=("chord",)),
+                [Event("lookup", rank=3, key=7), Event("checkpoint")],
+            )
+        )
+        doc.update(overrides)
+        return doc
+
+    def _expect(self, doc, match):
+        with pytest.raises(ValueError, match=match):
+            schedule_from_json(json.dumps(doc))
+
+    def test_valid_doc_parses(self):
+        config, events, expect = schedule_from_json(json.dumps(self._doc()))
+        assert [e.kind for e in events] == ["lookup", "checkpoint"]
+        assert config.families == ("chord",)
+        assert expect is False
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            schedule_from_json("{nope")
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            schedule_from_json("[1, 2]")
+
+    def test_rejects_missing_events(self):
+        doc = self._doc()
+        del doc["events"]
+        self._expect(doc, "missing required key 'events'")
+
+    def test_rejects_non_list_events(self):
+        self._expect(self._doc(events={"kind": "lookup"}), "must be a list")
+
+    def test_rejects_unknown_event_kind(self):
+        doc = self._doc(events=[{"kind": "frobnicate"}])
+        self._expect(doc, "event 0: unknown kind 'frobnicate'")
+
+    def test_rejects_missing_required_field(self):
+        doc = self._doc(events=[{"kind": "join", "node": 5}])
+        self._expect(doc, r"event 0 \(join\): missing required field\(s\) path")
+
+    def test_rejects_field_from_wrong_kind(self):
+        doc = self._doc(events=[{"kind": "stabilize", "key": 9}])
+        self._expect(doc, r"event 0 \(stabilize\): unexpected field\(s\) key")
+
+    def test_rejects_ill_typed_rank(self):
+        for bad in (True, -1, "3", 2.5):
+            doc = self._doc(events=[{"kind": "crash", "rank": bad}])
+            self._expect(doc, "rank must be a non-negative integer")
+
+    def test_rejects_ill_typed_path(self):
+        doc = self._doc(events=[{"kind": "kill_domain", "path": "a"}])
+        self._expect(doc, "path must be a list of domain-name strings")
+        doc = self._doc(events=[{"kind": "join", "node": 1, "path": ["a", 2]}])
+        self._expect(doc, "path must be a list of domain-name strings")
+
+    def test_reports_offending_event_index(self):
+        doc = self._doc(
+            events=[{"kind": "stabilize"}, {"kind": "lookup", "rank": 1}]
+        )
+        self._expect(doc, r"event 1 \(lookup\): missing required field\(s\) key")
+
+    def test_rejects_non_object_event(self):
+        with pytest.raises(ValueError, match="event 4: expected an object"):
+            event_from_dict("stabilize", 4)
+
+    def test_rejects_unknown_family(self):
+        self._expect(self._doc(families=["chord", "plaid"]), "unknown families")
+        self._expect(self._doc(families="chord"), "must be a list of names")
+
+    def test_rejects_missing_families(self):
+        doc = self._doc()
+        del doc["families"]
+        self._expect(doc, "missing required key 'families'")
+
+    def test_rejects_unknown_mutate_family_and_kind(self):
+        self._expect(self._doc(mutate_family="plaid"), "unknown mutate_family")
+        self._expect(self._doc(mutate_kind="scramble"), "unknown mutate_kind")
+
+    def test_rejects_bad_config_numbers(self):
+        self._expect(self._doc(population=0), "population must be an integer")
+        self._expect(self._doc(population="64"), "population must be an integer")
+        self._expect(self._doc(seed=True), "seed must be an integer")
+        self._expect(self._doc(bits=128), "bits must be <= 64")
+        self._expect(self._doc(data_replicas=0), "data_replicas must be an integer")
+
+    def test_new_event_kinds_roundtrip(self):
+        events = [
+            Event("partition", path=("a",)),
+            Event("kill_domain", path=()),
+            Event("heal"),
+            Event("heal", path=("a", "x")),
+            Event("checkpoint"),
+        ]
+        config = FuzzConfig(seed=2, events=0, families=("chord",))
+        _, parsed, _ = schedule_from_json(schedule_to_json(config, events))
+        assert parsed == events
 
 
 class TestRunSchedule:
@@ -116,6 +224,43 @@ class TestShrinking:
         assert report.shrunk is not None
         assert len(report.shrunk) <= len(report.schedule)
         assert replay(config, report.shrunk).failed
+
+    def test_shrink_is_idempotent_single_culprit(self):
+        events = [Event("lookup", rank=i, key=i) for i in range(40)]
+        culprit = events[17]
+        predicate = lambda evs: culprit in evs  # noqa: E731
+        shrunk, _ = shrink_schedule(events, predicate)
+        again, _ = shrink_schedule(shrunk, predicate)
+        assert again == shrunk
+
+    def test_shrink_is_idempotent_scattered_failure(self):
+        # A monotone multi-event predicate: 1-minimal output means no
+        # chunk of any size can be dropped, so a second pass is a no-op.
+        events = [Event("lookup", rank=i, key=i) for i in range(48)]
+        needed = set(events[::11])
+        predicate = lambda evs: needed <= set(evs)  # noqa: E731
+        shrunk, _ = shrink_schedule(events, predicate)
+        assert set(shrunk) == needed
+        again, _ = shrink_schedule(shrunk, predicate)
+        assert again == shrunk
+
+    def test_reshrinking_real_counterexample_is_noop(self):
+        # Full loop on a real oracle: shrink a mutation counterexample,
+        # then shrink the shrunk schedule again — it must come back
+        # unchanged and still fail.
+        config = FuzzConfig(
+            seed=17,
+            events=40,
+            families=("chord",),
+            mutate_family="chord",
+            checkpoints=2,
+        )
+        report = run_fuzz(config, shrink=True)
+        assert report.failed and report.shrunk is not None
+        predicate = lambda evs: replay(config, evs).failed  # noqa: E731
+        again, _ = shrink_schedule(report.shrunk, predicate)
+        assert again == report.shrunk
+        assert replay(config, again).failed
 
 
 @pytest.mark.fuzz
