@@ -14,7 +14,10 @@ numeric leaf of the fresh document against the checked-in ``BENCH_*.json``:
   of a workload's shared-memory arena — a pure function of the network
   and the dtype-minimization rules) must match with tolerance 0 and
   gates like a deterministic metric, while ``*rss_bytes`` (allocator- and
-  OS-dependent) reports at the timing tolerance and never gates.
+  OS-dependent) reports at the timing tolerance and never gates;
+- **count** metrics (``*_count`` — shed/hedge/retry/lost event counts from
+  seeded serving workloads) must match with tolerance 0 and gate like
+  deterministic metrics.
 
 By default only the latency baseline is re-recorded (it finishes in
 seconds); ``--baseline churn`` etc. opt into the slower ones.  Output is a
@@ -51,6 +54,7 @@ BASELINES = {
     "build": ("BENCH_build.json", "record_build_baseline", []),
     "routing": ("BENCH_routing.json", "record_routing_baseline", []),
     "storage": ("BENCH_storage.json", "record_storage_baseline", []),
+    "serving": ("BENCH_serving.json", "record_serving_baseline", []),
 }
 
 #: Leaf-key suffixes whose values are wall-clock measurements.
@@ -60,6 +64,11 @@ TIMING_MARKERS = ("_seconds", "_per_s", "speedup", "_us")
 #: RSS readings are allocator/OS noise (timing tolerance, never gate).
 MEMORY_EXACT_MARKER = "arena_bytes"
 MEMORY_NOISY_MARKER = "rss_bytes"
+
+#: Event-count leaves (``*_count``): seeded workloads pin these exactly —
+#: tolerance 0, gating (the serving baseline's shed/hedge/retry/lost
+#: accounting).
+COUNT_MARKER = "_count"
 
 
 def is_timing(path: str) -> bool:
@@ -74,6 +83,8 @@ def metric_kind(path: str) -> str:
         return "memory"
     if leaf.endswith(MEMORY_NOISY_MARKER):
         return "rss"
+    if leaf.endswith(COUNT_MARKER):
+        return "count"
     if is_timing(path):
         return "timing"
     return "deterministic"
@@ -116,6 +127,7 @@ def compare(name: str, baseline: dict, fresh: dict, exact_tol: float, timing_tol
             "timing": timing_tol,
             "rss": timing_tol,
             "memory": 0.0,
+            "count": 0.0,
         }.get(kind, exact_tol)
         if delta > tol:
             rows.append((path, old, new, delta, kind, False))
@@ -203,7 +215,11 @@ def main(argv=None) -> int:
         baseline = json.loads(baseline_path.read_text())
         fresh = rerecord(name)
         rows = compare(name, baseline, fresh, args.exact_tol, args.timing_tol)
-        gating = [r for r in rows if r[4] in ("deterministic", "memory", "missing")]
+        gating = [
+            r
+            for r in rows
+            if r[4] in ("deterministic", "memory", "count", "missing")
+        ]
         results.append((name, rows, gating))
         if gating and args.strict:
             exit_code = 1

@@ -1,0 +1,248 @@
+"""Record BENCH_serving.json: sustained lookup-serving throughput.
+
+Per population, the same seeded workload is served three ways over the
+testbed network (FUZZ-style joins, converged, transit-stub latency):
+
+- **scalar**: the discrete-event ``AsyncEngine``, one Python callback per
+  message — the per-message baseline the frontier runtime replaces;
+- **batched closed loop**: ``ServeRuntime`` at fixed concurrency, no
+  policy — the sustained-throughput headline (and the source of the
+  deterministic p50/p99 virtual-latency quantiles);
+- **batched open loop** with per-domain token-bucket admission — the
+  deterministic shed accounting;
+- **batched closed loop under churn** with retries + hedging (a seeded
+  slice of nodes crashed every few ticks, view recompiled) — the
+  deterministic lost/retry/hedge accounting.
+
+Before anything is recorded, ``compare_serving`` replays a shared lookup
+schedule with mid-flight crashes through both engines and must find zero
+outcome disagreements; at the largest measured population the batched
+runtime must beat the scalar engine by at least ``MIN_SPEEDUP``x
+lookups/sec or recording aborts.
+
+Wall-clock leaves (``*_per_s``, ``*_seconds``, ``speedup``) are compared
+at the timing tolerance by ``check_regression.py``; ``*_count`` leaves
+gate at tolerance 0 and quantile-millisecond leaves at the deterministic
+tolerance.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_serving_baseline.py
+"""
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import (  # noqa: E402
+    ServePolicy,
+    ServeRuntime,
+    compile_protocol_view,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.testbed import (  # noqa: E402
+    build_serving_net,
+    domain_labeler,
+    lookup_workload,
+)
+from repro.simulation.async_lookup import AsyncEngine  # noqa: E402
+from repro.verify.oracles import compare_serving  # noqa: E402
+
+#: The acceptance floor: batched lookups/sec over scalar at the largest size.
+MIN_SPEEDUP = 5.0
+
+
+def validate_equivalence(seed):
+    """compare_serving on a churning net: outcomes must agree exactly."""
+
+    def factory():
+        net, _ = build_serving_net(512, seed=seed, with_latency=False)
+        return net
+
+    net = factory()
+    rng = random.Random(f"serving-gate:{seed}")
+    live = sorted(net.live_view())
+    lookups = [
+        (live[rng.randrange(len(live))], rng.randrange(net.space.size))
+        for _ in range(400)
+    ]
+    victims = rng.sample(live, 30)
+
+    def crash_slice(part):
+        def fn(target):
+            for victim in part:
+                if victim in target.nodes and target.nodes[victim].alive:
+                    target.crash(victim)
+
+        return fn
+
+    churn = [(2, crash_slice(victims[:15])), (4, crash_slice(victims[15:]))]
+    comparison = compare_serving(factory, lookups, churn=churn)
+    assert comparison.equivalent, comparison.violations[:5]
+    return (
+        f"compare_serving: {len(lookups)} lookups @ population 512, "
+        f"{len(victims)} mid-flight crashes, ok"
+    )
+
+
+def bench_size(size, lookups, seed, repeats):
+    """All serving measurements for one population."""
+    net, latency = build_serving_net(size, seed=seed)
+    sources, keys = lookup_workload(net, lookups, seed=seed)
+    concurrency = min(4096, lookups)
+
+    # -- scalar: the per-message discrete-event engine.
+    scalar_best = float("inf")
+    for _ in range(repeats):
+        engine = AsyncEngine(net)
+        start = time.perf_counter()
+        for src, key in zip(sources.tolist(), keys.tolist()):
+            engine.lookup(src, key)
+        net.sim.run()
+        scalar_best = min(scalar_best, time.perf_counter() - start)
+    assert engine.in_flight == 0 and len(engine.completed) == lookups
+
+    # -- batched closed loop, no policy: the throughput headline.
+    serve_best = float("inf")
+    for _ in range(repeats):
+        runtime = ServeRuntime(*compile_protocol_view(net), latency=latency)
+        start = time.perf_counter()
+        report = run_closed_loop(
+            runtime, sources, keys, concurrency=concurrency
+        )
+        serve_best = min(serve_best, time.perf_counter() - start)
+    assert report.counters["completed"] == lookups
+
+    # -- open loop with admission control: deterministic shed accounting.
+    admit = ServePolicy(admit_rate=48.0, admit_burst=96.0)
+    runtime = ServeRuntime(
+        *compile_protocol_view(net),
+        policy=admit,
+        latency=latency,
+        domain_of=domain_labeler(net),
+    )
+    open_report = run_open_loop(runtime, sources, keys, per_tick=1024)
+
+    # -- closed loop under churn with retries + hedging: deterministic
+    #    lost/retry/hedge accounting (view recompiled after every slice).
+    policy = ServePolicy(
+        max_attempts=3, hedge_quantile=0.9, hedge_min_ms=400.0
+    )
+    runtime = ServeRuntime(
+        *compile_protocol_view(net), policy=policy, latency=latency
+    )
+    churn_rng = random.Random(f"serving-baseline-churn:{seed}")
+
+    def on_tick(rt, tick):
+        if tick % 5 == 0:
+            live = sorted(net.live_view())
+            victims = churn_rng.sample(
+                live, min(max(size // 128, 4), len(live) - 8)
+            )
+            for victim in victims:
+                net.crash(victim)
+            rt.set_view(*compile_protocol_view(net))
+
+    churn_report = run_closed_loop(
+        runtime, sources, keys, concurrency=concurrency, on_tick=on_tick
+    )
+    assert churn_report.counters["completed"] == lookups
+
+    out = {
+        "nodes": size,
+        "lookups": lookups,
+        "concurrency": concurrency,
+        "async_seconds": scalar_best,
+        "async_per_s": lookups / scalar_best,
+        "serve_seconds": serve_best,
+        "serve_per_s": lookups / serve_best,
+        "speedup": scalar_best / serve_best,
+        "p50_ms": report.quantile_ms(0.5),
+        "p99_ms": report.quantile_ms(0.99),
+        "delivered_count": report.counters["delivered"],
+        "open_shed_count": open_report.counters["shed"],
+        "open_delivered_count": open_report.counters["delivered"],
+        "churn_lost_count": churn_report.counters["lost"],
+        "churn_retry_count": churn_report.counters["retries"],
+        "churn_hedge_count": churn_report.counters["hedges"],
+        "churn_delivered_count": churn_report.counters["delivered"],
+    }
+    print(
+        f"n={size:6d}  {lookups} lookups  "
+        f"async {out['async_per_s']:9.0f}/s  "
+        f"serve {out['serve_per_s']:9.0f}/s  ({out['speedup']:.1f}x)  "
+        f"p50 {out['p50_ms']:6.1f} ms  p99 {out['p99_ms']:6.1f} ms  "
+        f"shed {out['open_shed_count']}  lost {out['churn_lost_count']}  "
+        f"retries {out['churn_retry_count']}  hedges {out['churn_hedge_count']}"
+    )
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serving.json"),
+        help="output path (default: repo-root BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1024, 4096, 16384],
+        help="populations to measure (default: 1024 4096 16384)",
+    )
+    parser.add_argument(
+        "--lookups",
+        type=int,
+        default=12000,
+        help="lookups served per population (default 12000)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timed runs per engine (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    equivalence = validate_equivalence(args.seed)
+    print(equivalence)
+    sizes = sorted(args.sizes)
+    results = {
+        str(size): bench_size(size, args.lookups, args.seed, args.repeats)
+        for size in sizes
+    }
+    top = results[str(sizes[-1])]
+    assert top["speedup"] >= MIN_SPEEDUP, (
+        f"batched runtime only {top['speedup']:.1f}x over AsyncEngine at "
+        f"{sizes[-1]} nodes (need >= {MIN_SPEEDUP}x)"
+    )
+    doc = {
+        "workload": {
+            "build": "FUZZ-path joins, stabilized to convergence",
+            "latency": "transit-stub table (2x4x3x4 routers)",
+            "lookups": args.lookups,
+            "seed": args.seed,
+        },
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": equivalence,
+        "min_speedup_at_top_size": MIN_SPEEDUP,
+        "serving": results,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

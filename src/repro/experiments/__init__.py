@@ -20,6 +20,7 @@ from . import (
     inflight_study,
     isolation_study,
     scenario_zoo,
+    serving_study,
     theorems,
     zoo,
 )
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "inflight": inflight_study,
     "isolation": isolation_study,
     "scenarios": scenario_zoo,
+    "serve": serving_study,
     "theorems": theorems,
     "zoo": zoo,
 }

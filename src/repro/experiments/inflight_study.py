@@ -61,6 +61,9 @@ def measurements(scale: str = "smoke") -> Dict[str, float]:
 
         sim.schedule(when, crash_batch)
         sim.run()
+        # delivery_rate() is NaN until something completes; the drained
+        # burst guarantees data, so make that precondition explicit.
+        assert engine.in_flight == 0 and engine.completed
         out[label] = engine.delivery_rate()
     return out
 

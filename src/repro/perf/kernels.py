@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for annotations
 __all__ = [
     "BatchResult",
     "CompiledNetwork",
+    "InFlightFrontier",
     "batch_route",
     "batch_route_ring",
     "batch_route_xor",
@@ -109,6 +110,41 @@ class BatchResult:
             raise ValueError("paths were not collected; route with paths=True")
         for path, ok, dest in zip(self.paths, self.success, self.dest_keys):
             yield Route(path, bool(ok), int(dest))
+
+
+@dataclass
+class InFlightFrontier:
+    """Resumable in-flight lookup state for frontier-at-a-time serving.
+
+    One row per lookup; the serving runtime (and any other caller that
+    needs to interleave policy between hops) advances all not-yet-done
+    rows exactly one greedy hop per :meth:`CompiledNetwork.step_frontier`
+    call.  Stepping a frontier to quiescence produces hops, terminals,
+    success flags and per-route latency identical to a single
+    :meth:`CompiledNetwork.route` call over the same pairs — the batch
+    loops and this struct share the per-hop primitives, only the loop
+    ownership differs.
+
+    ``cur`` holds node *ids* (not compiled positions), so the state
+    survives recompilation of the network view between steps: under churn
+    a caller can rebuild the CSR snapshot each tick and keep stepping the
+    same frontier.
+    """
+
+    cur: np.ndarray  # uint64 current node id per lookup
+    dest: np.ndarray  # uint64 destination key per lookup
+    hops: np.ndarray  # int64 hops taken so far
+    done: np.ndarray  # bool: a terminal decision was reached
+    success: np.ndarray  # bool: the scalar engines' verdict (valid where done)
+    latency_ms: np.ndarray  # float64 strict left fold of per-hop ms
+
+    @property
+    def size(self) -> int:
+        return int(self.cur.size)
+
+    @property
+    def active(self) -> int:
+        return int(np.count_nonzero(~self.done))
 
 
 class CompiledNetwork:
@@ -934,6 +970,143 @@ class CompiledNetwork:
                 sources, dest_keys, alive=alive, paths=paths, latency=latency
             )
         raise ValueError(f"unknown metric {self.metric!r}")
+
+    # ------------------------------------------------- frontier stepping
+
+    def begin_frontier(
+        self, sources: Sequence[int], dest_keys: Sequence[int]
+    ) -> InFlightFrontier:
+        """Fresh in-flight state for ``(source, key)`` pairs (no hops yet)."""
+        src, dest = _as_batch(sources, dest_keys)
+        m = src.size
+        return InFlightFrontier(
+            cur=src.copy(),
+            dest=dest,
+            hops=np.zeros(m, dtype=np.int64),
+            done=np.zeros(m, dtype=bool),
+            success=np.zeros(m, dtype=bool),
+            latency_ms=np.zeros(m, dtype=np.float64),
+        )
+
+    def frontier_step(
+        self,
+        cur_ids: np.ndarray,
+        dest: np.ndarray,
+        alive_arr: Optional[np.ndarray] = None,
+        lat_state=None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Advance every lookup exactly one greedy hop (pure, resumable).
+
+        The single-step entry point behind the serving runtime: one call
+        is one frontier tick.  Branch-for-branch it replicates one
+        iteration of the batch routing loops — same candidate selection,
+        same terminal resolution — so repeatedly stepping until nothing
+        moves yields outcomes identical to :meth:`route`.
+
+        Returns ``(next_ids, moved, success, hop_ms)`` aligned with the
+        inputs.  Where ``moved`` is False the lookup terminated this step
+        and ``success`` holds the scalar engines' verdict (at its key, or
+        the responsible/closest check for stuck routes); ``next_ids``
+        equals ``cur_ids`` there.  ``hop_ms`` is per-hop overlay latency
+        (zero on unmoved rows) when ``lat_state`` is given, else ``None``.
+        """
+        if self.metric == "ring":
+            remaining = (dest - cur_ids) & self.mask
+            at_dest = remaining == _ZERO
+            if alive_arr is None:
+                dist2d, posflat, ids_small = self._ring_matrix()
+                dt = dist2d.dtype.type
+                width = dist2d.shape[1]
+                c = self._positions(cur_ids)
+                rows = dist2d[c]
+                le = rows <= remaining.astype(dt)[:, None]
+                p = le.argmax(axis=1)
+                idx = c * np.intp(width) + p
+                nxtp = posflat[idx].astype(np.int64)
+                moved = nxtp != c
+            else:
+                c = self._positions(cur_ids)
+                nxt, ok = self._ring_step_alive(c, cur_ids, remaining, alive_arr)
+                nxtp = np.where(ok, nxt, c)
+                moved = ok
+            stuck = ~moved & ~at_dest
+            success = at_dest.copy()
+            if np.any(stuck):
+                success[stuck] = self._responsible(
+                    cur_ids[stuck], dest[stuck], alive_arr
+                )
+        elif self.metric == "xor":
+            cur_dist = cur_ids ^ dest
+            at_dest = cur_dist == _ZERO
+            c = self._positions(cur_ids)
+            if alive_arr is None:
+                caug = c.astype(_U64) << self.shift
+                p1 = np.searchsorted(self.aug, caug | (dest + _ONE), side="left")
+                c1 = self.cand_ids[p1]
+                c2 = self.cand_ids[p1 - 1]
+                d1 = c1 ^ dest
+                d2 = c2 ^ dest
+                pick2 = d2 < np.minimum(d1, cur_dist)
+                moved = (d1 < cur_dist) | pick2
+                chosen = np.subtract(p1, pick2)
+                nxtp = np.where(
+                    moved, (self.cand_aug[chosen] >> self.shift).astype(np.int64), c
+                )
+            else:
+                nxt, ok = self._xor_step_alive(c, dest, cur_dist, alive_arr)
+                nxtp = np.where(ok, nxt, c)
+                moved = ok
+            stuck = ~moved & ~at_dest
+            success = at_dest.copy()
+            if np.any(stuck):
+                success[stuck] = self._xor_closest(
+                    cur_ids[stuck], dest[stuck], alive_arr
+                )
+        else:
+            raise ValueError(f"unknown metric {self.metric!r}")
+        next_ids = np.where(moved, self.ids[nxtp], cur_ids)
+        hop_ms: Optional[np.ndarray] = None
+        if lat_state is not None:
+            lr, lmat, lhop2 = lat_state
+            hop_ms = np.zeros(cur_ids.shape, dtype=np.float64)
+            mv = np.flatnonzero(moved)
+            if mv.size:
+                hop_ms[mv] = lhop2 + lmat[
+                    lr[c[mv]], lr[nxtp[mv]]
+                ].astype(np.float64)
+        return next_ids, moved, success, hop_ms
+
+    def step_frontier(
+        self,
+        state: InFlightFrontier,
+        alive: Optional[np.ndarray] = None,
+        latency: Optional["LatencyTable"] = None,
+    ) -> int:
+        """One hop for every not-done row of ``state``; returns moved count.
+
+        ``alive`` is a *sorted uint64 id array* (use :meth:`_alive_array`
+        or a live view) — the serving runtime holds one per view epoch, so
+        this entry point skips the per-call set conversion of
+        :meth:`route`.  Latency accumulates into ``state.latency_ms`` one
+        addition per hop, preserving the scalar left-fold contract.
+        """
+        act = np.flatnonzero(~state.done)
+        if act.size == 0:
+            return 0
+        lat_state = self._latency_state(latency)
+        next_ids, moved, success, hop_ms = self.frontier_step(
+            state.cur[act], state.dest[act], alive, lat_state
+        )
+        state.cur[act] = next_ids
+        mv = act[moved]
+        state.hops[mv] += 1
+        if hop_ms is not None and mv.size:
+            state.latency_ms[mv] += hop_ms[moved]
+        fin = act[~moved]
+        if fin.size:
+            state.done[fin] = True
+            state.success[fin] = success[~moved]
+        return int(mv.size)
 
     def _result(
         self,

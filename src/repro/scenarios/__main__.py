@@ -95,6 +95,13 @@ def main(argv=None) -> int:
         metavar="OUT.json",
         help="write the compiled schedule as a replayable fixture",
     )
+    run.add_argument(
+        "--serve",
+        action="store_true",
+        help="additionally replay the schedule in serving mode (batched "
+        "lookup runtime); its delivered/offered ratio lands in the "
+        "slo.* instruments under <scenario>.serve",
+    )
 
     rep = sub.add_parser("replay", help="replay a saved scenario fixture")
     rep.add_argument("fixture", help="path to a scenario JSON")
@@ -179,6 +186,22 @@ def _dispatch(args: argparse.Namespace) -> int:
             latency=not args.no_latency,
         )
         _print_result(result)
+        if args.serve:
+            from ..serve.scenario import serve_scenario
+
+            serving = serve_scenario(
+                spec,
+                seed=args.seed,
+                engine=args.engine,
+                latency=not args.no_latency,
+            )
+            counters = serving.report.counters
+            print(
+                f"  serving mode: {serving.delivered}/{serving.offered} "
+                f"delivered (ratio {serving.ratio:.3f}), "
+                f"{counters['lost']} lost, "
+                f"p99 {serving.report.quantile_ms(0.99):.1f} ms"
+            )
         print(f"({time.time() - start:.1f}s)")
         if args.save:
             Path(args.save).write_text(

@@ -1,0 +1,69 @@
+"""`repro.serve`: a batched, policy-driven lookup-serving runtime.
+
+The batch kernels (:mod:`repro.perf.kernels`) route; this package *serves*:
+:class:`ServeRuntime` admits lookups (up to millions in flight), advances
+them frontier-at-a-time — every tick, all in-flight lookups are gathered
+into numpy arrays and stepped one hop through a single fused
+:meth:`~repro.perf.kernels.CompiledNetwork.frontier_step` call — and
+applies production policy *as data* around that hot loop: per-lookup
+deadlines, bounded retries with exponential backoff against alternate
+contacts, hedged requests, and per-top-domain token-bucket admission
+control.  A pluggable before/after middleware chain (tracing, SLO
+recording, ACL-style domain checks) wraps submit/complete without ever
+touching the frontier loop.
+
+Quickstart::
+
+    python -m repro.serve --nodes 2048 --lookups 20000 --mode closed
+
+See ``docs/performance.md`` ("Serving") for the architecture and knobs.
+"""
+
+from .batcher import FrontierBatcher, compile_protocol_view
+from .middleware import (
+    CompletionBatch,
+    DomainACL,
+    Middleware,
+    SLOMiddleware,
+    SubmitBatch,
+    TracingMiddleware,
+)
+from .policy import NO_POLICY, DomainBuckets, ServePolicy
+from .runtime import (
+    STATUS_DEADLINE,
+    STATUS_DENIED,
+    STATUS_FAIL,
+    STATUS_HOPCAP,
+    STATUS_LOST,
+    STATUS_OK,
+    STATUS_SHED,
+    ServeReport,
+    ServeRuntime,
+    run_closed_loop,
+    run_open_loop,
+)
+
+__all__ = [
+    "CompletionBatch",
+    "DomainACL",
+    "DomainBuckets",
+    "FrontierBatcher",
+    "Middleware",
+    "NO_POLICY",
+    "SLOMiddleware",
+    "STATUS_DEADLINE",
+    "STATUS_DENIED",
+    "STATUS_FAIL",
+    "STATUS_HOPCAP",
+    "STATUS_LOST",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "ServePolicy",
+    "ServeReport",
+    "ServeRuntime",
+    "SubmitBatch",
+    "TracingMiddleware",
+    "compile_protocol_view",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,682 @@
+"""The event-loop serving runtime: frontier-at-a-time batched lookups.
+
+:class:`ServeRuntime` owns a :class:`~repro.serve.batcher.FrontierBatcher`
+of in-flight lookups over one compiled network view.  Every
+:meth:`~ServeRuntime.tick`:
+
+1. waiting (backed-off) slots age and re-enter the frontier;
+2. all RUNNING slots are gathered into contiguous arrays and advanced one
+   greedy hop through a single fused
+   :meth:`~repro.perf.kernels.CompiledNetwork.frontier_step` call — no
+   per-message Python callbacks, no per-lookup dispatch;
+3. policy is applied *between* hops as vector masks: dead-current-node
+   losses, per-attempt hop caps, terminal outcomes with bounded
+   exponential-backoff retries against alternate contacts, end-to-end
+   deadline expiry, and hedge launches for the slowest p-quantile;
+4. the tick's completions are emitted as one batch through the middleware
+   chain and the ``serve.*`` metrics.
+
+Outcome contract: on a static view, every lookup that completes with a
+routing outcome (OK or FAIL) has the success/terminal verdict of the
+scalar engines — policy shifts *when* and *whether* a lookup completes
+(latency, shed/expired counters), never *where* it lands.  That is what
+the property tests pin and what makes the runtime differentially
+checkable against :class:`~repro.simulation.async_lookup.AsyncEngine`
+(:func:`repro.verify.oracles.compare_serving`).
+
+Under churn, call :meth:`~ServeRuntime.set_view` with a fresh
+:func:`~repro.serve.batcher.compile_protocol_view` snapshot between
+ticks: in-flight state is id-based and survives the swap; lookups parked
+on nodes that died resolve as LOST exactly like AsyncEngine's in-flight
+message losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..perf.kernels import CompiledNetwork, _in_sorted
+from ..perf.latency import LatencyTable
+from .batcher import FREE, RUNNING, WAITING, FrontierBatcher
+from .middleware import CompletionBatch, Middleware, SubmitBatch
+from .policy import NO_POLICY, DomainBuckets, ServePolicy
+
+__all__ = [
+    "STATUS_DEADLINE",
+    "STATUS_DENIED",
+    "STATUS_FAIL",
+    "STATUS_HOPCAP",
+    "STATUS_LOST",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "ServeReport",
+    "ServeRuntime",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+#: Completion status codes (``CompletionBatch.status``).
+STATUS_OK = 0  # served; ``success`` holds the routing verdict (True)
+STATUS_FAIL = 1  # served; stuck short of the key, not responsible
+STATUS_LOST = 2  # current node died mid-flight (AsyncEngine's lost message)
+STATUS_HOPCAP = 3  # exceeded the per-attempt hop cap
+STATUS_DEADLINE = 4  # end-to-end deadline expired
+STATUS_SHED = 5  # admission control: no token for the source's domain
+STATUS_DENIED = 6  # vetoed by a before-submit middleware (ACL)
+
+_STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_FAIL: "fail",
+    STATUS_LOST: "lost",
+    STATUS_HOPCAP: "hop_limit",
+    STATUS_DEADLINE: "deadline",
+    STATUS_SHED: "shed",
+    STATUS_DENIED: "denied",
+}
+
+#: Statuses that carry a routing outcome (the lookup was actually served).
+SERVED_STATUSES = (STATUS_OK, STATUS_FAIL)
+
+
+@dataclass
+class ServeReport:
+    """Everything a finished serving run produced, in completion order."""
+
+    counters: Dict[str, int]
+    tickets: np.ndarray
+    sources: np.ndarray
+    keys: np.ndarray
+    terminals: np.ndarray
+    hops: np.ndarray
+    latency_ms: np.ndarray
+    attempts: np.ndarray
+    success: np.ndarray
+    status: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.tickets.size)
+
+    @property
+    def delivered(self) -> np.ndarray:
+        return self.success.copy()
+
+    @property
+    def served(self) -> np.ndarray:
+        """Lookups that got a routing outcome (not shed/denied/expired)."""
+        return np.isin(self.status, SERVED_STATUSES)
+
+    def quantile_ms(self, q: float) -> float:
+        """Latency quantile over delivered lookups (NaN when none)."""
+        ms = self.latency_ms[self.delivered]
+        return float(np.quantile(ms, q)) if ms.size else float("nan")
+
+    def outcome_map(self) -> Dict[int, Tuple[bool, int, int]]:
+        """ticket -> (success, terminal, status) for equivalence checks."""
+        return {
+            int(t): (bool(s), int(term), int(st))
+            for t, s, term, st in zip(
+                self.tickets, self.success, self.terminals, self.status
+            )
+        }
+
+    def summary(self) -> str:
+        """One-line human summary of counters and latency quantiles."""
+        c = self.counters
+        return (
+            f"{c['submitted']} submitted / {c['completed']} completed / "
+            f"{c['delivered']} delivered  "
+            f"(shed {c['shed']}, denied {c['denied']}, expired {c['expired']}, "
+            f"lost {c['lost']}, retries {c['retries']}, hedges {c['hedges']}, "
+            f"p50 {self.quantile_ms(0.5):.1f} ms, "
+            f"p99 {self.quantile_ms(0.99):.1f} ms, {c['ticks']} ticks)"
+        )
+
+
+class ServeRuntime:
+    """Batched lookup serving over one compiled network view."""
+
+    def __init__(
+        self,
+        compiled: CompiledNetwork,
+        alive: Optional[np.ndarray] = None,
+        *,
+        policy: Optional[ServePolicy] = None,
+        latency: Optional[LatencyTable] = None,
+        middlewares: Sequence[Middleware] = (),
+        domain_of: Optional[Callable[[int], str]] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.alive = alive
+        self.policy = policy if policy is not None else NO_POLICY
+        self.latency = latency
+        self._lat_state = compiled._latency_state(latency)
+        self.middlewares = list(middlewares)
+        self.domain_of = domain_of
+        self._domain_cache: Dict[int, str] = {}
+        self.batcher = FrontierBatcher()
+        self.buckets: Optional[DomainBuckets] = None
+        if self.policy.admit_rate is not None:
+            self.buckets = DomainBuckets(
+                self.policy.admit_rate, self.policy.admit_burst
+            )
+        self._next_ticket = 0
+        self.completed_tickets = 0
+        self.counters: Dict[str, int] = {
+            key: 0
+            for key in (
+                "submitted", "admitted", "shed", "denied", "completed",
+                "delivered", "failed", "lost", "hop_limit", "expired",
+                "retries", "hedges", "hedge_wins", "hedge_cancelled",
+                "ticks",
+            )
+        }
+        self._done: Dict[str, List[np.ndarray]] = {
+            key: []
+            for key in (
+                "tickets", "sources", "keys", "terminals", "hops",
+                "latency_ms", "attempts", "success", "status",
+            )
+        }
+
+    # ------------------------------------------------------------- views
+
+    def set_view(
+        self, compiled: CompiledNetwork, alive: Optional[np.ndarray] = None
+    ) -> None:
+        """Swap the network snapshot (after churn); in-flight state survives."""
+        self.compiled = compiled
+        self.alive = alive
+        self._lat_state = compiled._latency_state(self.latency)
+
+    @property
+    def in_flight(self) -> int:
+        """Slots (runners) currently RUNNING or WAITING."""
+        return self.batcher.in_flight
+
+    @property
+    def outstanding(self) -> int:
+        """Tickets admitted but not yet completed."""
+        return self._next_ticket - self.completed_tickets
+
+    # ------------------------------------------------------------ submit
+
+    def _domain(self, node_id: int) -> str:
+        label = self._domain_cache.get(node_id)
+        if label is None:
+            label = self.domain_of(node_id) if self.domain_of else ""
+            self._domain_cache[node_id] = label
+        return label
+
+    def submit_many(
+        self,
+        sources: Sequence[int],
+        keys: Sequence[int],
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """Admit a batch of lookups; returns their tickets.
+
+        Every submission gets a ticket and exactly one eventual
+        completion: denied and shed lookups complete immediately with
+        their status, the rest enter the frontier.
+        """
+        src = np.ascontiguousarray(np.asarray(sources, dtype=np.uint64))
+        dst = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+        if src.shape != dst.shape:
+            raise ValueError(f"{src.size} sources vs {dst.size} keys")
+        n = int(src.size)
+        tickets = np.arange(
+            self._next_ticket, self._next_ticket + n, dtype=np.int64
+        )
+        self._next_ticket += n
+        self.counters["submitted"] += n
+        self._inc_obs("serve.submitted", n)
+        domains = [self._domain(s) for s in src.tolist()]
+        batch = SubmitBatch(sources=src, keys=dst, domains=domains)
+        deny = np.zeros(n, dtype=bool)
+        for mw in self.middlewares:
+            mask = mw.before_submit(batch)
+            if mask is not None:
+                deny |= mask
+        stage = _CompletionStage()
+        denied_idx = np.flatnonzero(deny)
+        if denied_idx.size:
+            self.counters["denied"] += int(denied_idx.size)
+            self._inc_obs("serve.denied", int(denied_idx.size))
+            stage.add_immediate(tickets, src, dst, denied_idx, STATUS_DENIED)
+        passed = np.flatnonzero(~deny)
+        if self.buckets is not None and passed.size:
+            codes = np.asarray(
+                [self.buckets.code(domains[i]) for i in passed.tolist()],
+                dtype=np.int64,
+            )
+            admitted = self.buckets.admit(codes)
+            shed_idx = passed[~admitted]
+            if shed_idx.size:
+                self.counters["shed"] += int(shed_idx.size)
+                self._inc_obs("serve.shed", int(shed_idx.size))
+                stage.add_immediate(tickets, src, dst, shed_idx, STATUS_SHED)
+            passed = passed[admitted]
+        if passed.size:
+            self.counters["admitted"] += int(passed.size)
+            slots = self.batcher.alloc(int(passed.size))
+            b = self.batcher
+            b.ticket[slots] = tickets[passed]
+            b.src[slots] = src[passed]
+            b.cur[slots] = src[passed]
+            b.dest[slots] = dst[passed]
+            b.hops[slots] = 0
+            b.elapsed_ms[slots] = 0.0
+            b.deadline_ms[slots] = (
+                self.policy.deadline_ms if deadline_ms is None else deadline_ms
+            )
+            b.attempt[slots] = 1
+            b.wait[slots] = 0
+            b.twin[slots] = -1
+            b.is_hedge[slots] = False
+            b.state[slots] = RUNNING
+        self._emit(stage)
+        return tickets
+
+    # -------------------------------------------------------------- tick
+
+    def tick(self) -> int:
+        """One frontier iteration; returns the number of lookups stepped."""
+        b = self.batcher
+        policy = self.policy
+        self.counters["ticks"] += 1
+        if self.buckets is not None:
+            self.buckets.refill()
+        waiting = b.slots_in(WAITING)
+        if waiting.size:
+            b.elapsed_ms[waiting] += policy.tick_ms
+            b.wait[waiting] -= 1
+            ready = waiting[b.wait[waiting] <= 0]
+            b.state[ready] = RUNNING
+        stage = _CompletionStage()
+        act = b.slots_in(RUNNING)
+        moved_count = 0
+        if act.size:
+            if self.alive is not None:
+                lost = ~_in_sorted(self.alive, b.cur[act])
+                if np.any(lost):
+                    self._fail_or_retry(stage, act[lost], STATUS_LOST)
+                    act = act[~lost]
+            if act.size:
+                over = b.hops[act] >= policy.hop_cap
+                if np.any(over):
+                    self._fail_or_retry(stage, act[over], STATUS_HOPCAP)
+                    act = act[~over]
+            if act.size:
+                next_ids, moved, success, hop_ms = self.compiled.frontier_step(
+                    b.cur[act], b.dest[act], self.alive, self._lat_state
+                )
+                b.cur[act] = next_ids
+                mv = act[moved]
+                moved_count = int(mv.size)
+                b.hops[mv] += 1
+                if hop_ms is not None:
+                    b.elapsed_ms[mv] += hop_ms[moved]
+                else:
+                    b.elapsed_ms[mv] += policy.hop_ms
+                fin = act[~moved]
+                if fin.size:
+                    verdict = success[~moved]
+                    ok = fin[verdict]
+                    if ok.size:
+                        self._stage_complete(stage, ok, STATUS_OK, True)
+                    bad = fin[~verdict]
+                    if bad.size:
+                        self._fail_or_retry(stage, bad, STATUS_FAIL)
+        if np.isfinite(policy.deadline_ms) or self._has_finite_deadlines():
+            open_slots = np.flatnonzero(b.state != FREE)
+            expired = open_slots[
+                b.elapsed_ms[open_slots] > b.deadline_ms[open_slots]
+            ]
+            if expired.size:
+                self.counters["expired"] += self._stage_complete(
+                    stage, expired, STATUS_DEADLINE, False
+                )
+        self._maybe_hedge()
+        self._emit(stage)
+        return moved_count
+
+    def _has_finite_deadlines(self) -> bool:
+        # Per-submit deadlines may be finite under an infinite policy
+        # default; cheap scan only when any slot is occupied.
+        b = self.batcher
+        return bool(
+            np.any(np.isfinite(b.deadline_ms[b.state != FREE]))
+        )
+
+    def drain(self, max_ticks: int = 1_000_000) -> None:
+        """Tick until every admitted lookup has completed."""
+        ticks = 0
+        while self.in_flight:
+            self.tick()
+            ticks += 1
+            if ticks > max_ticks:
+                raise RuntimeError(f"serving did not drain in {max_ticks} ticks")
+
+    def report(self) -> ServeReport:
+        """Snapshot of all completions so far (completion order)."""
+        def cat(key: str, dtype) -> np.ndarray:
+            parts = self._done[key]
+            return (
+                np.concatenate(parts) if parts else np.zeros(0, dtype=dtype)
+            )
+
+        return ServeReport(
+            counters=dict(self.counters),
+            tickets=cat("tickets", np.int64),
+            sources=cat("sources", np.uint64),
+            keys=cat("keys", np.uint64),
+            terminals=cat("terminals", np.uint64),
+            hops=cat("hops", np.int64),
+            latency_ms=cat("latency_ms", np.float64),
+            attempts=cat("attempts", np.int32),
+            success=cat("success", bool),
+            status=cat("status", np.int16),
+        )
+
+    # ------------------------------------------------------------ policy
+
+    def _fail_or_retry(
+        self, stage: "_CompletionStage", slots: np.ndarray, status: int
+    ) -> None:
+        b = self.batcher
+        policy = self.policy
+        retryable = (b.attempt[slots] < policy.max_attempts) & ~b.is_hedge[slots]
+        retry = slots[retryable]
+        done = slots[~retryable]
+        if retry.size:
+            self.counters["retries"] += int(retry.size)
+            self._inc_obs("serve.retries", int(retry.size))
+            b.attempt[retry] += 1
+            b.hops[retry] = 0
+            starts = b.src[retry]
+            if policy.retry_alternates:
+                starts = self._alternate_contacts(b.src[retry], b.attempt[retry])
+            b.cur[retry] = starts
+            backoff = policy.retry_backoff_ms * np.power(
+                2.0, b.attempt[retry].astype(np.float64) - 2.0
+            )
+            b.wait[retry] = np.maximum(
+                np.ceil(backoff / max(policy.tick_ms, 1e-9)), 1.0
+            ).astype(np.int32)
+            b.state[retry] = WAITING
+        if done.size:
+            # A failing runner whose hedge twin is still in flight does not
+            # doom the ticket: drop it silently and let the twin race on.
+            done = self._drop_if_twin_alive(done)
+        if done.size:
+            count = self._stage_complete(stage, done, status, False)
+            key = {
+                STATUS_LOST: "lost",
+                STATUS_HOPCAP: "hop_limit",
+                STATUS_FAIL: "failed",
+            }[status]
+            self.counters[key] += count
+
+    def _drop_if_twin_alive(self, slots: np.ndarray) -> np.ndarray:
+        b = self.batcher
+        keep: List[int] = []
+        for s in slots.tolist():
+            t = int(b.twin[s])
+            if t >= 0 and b.state[t] != FREE and b.ticket[t] == b.ticket[s]:
+                self.counters["hedge_cancelled"] += 1
+                b.twin[t] = -1
+                b.release(np.asarray([s], dtype=np.int64))
+            else:
+                keep.append(s)
+        return np.asarray(keep, dtype=np.int64)
+
+    def _alternate_contacts(
+        self, srcs: np.ndarray, attempts: np.ndarray
+    ) -> np.ndarray:
+        """Attempt ``k`` restarts at the source's ``(k-2)``-th contact."""
+        c = self.compiled
+        known = _in_sorted(c.ids, srcs)
+        out = srcs.copy()
+        if not np.any(known):
+            return out
+        pos = np.searchsorted(c.ids, srcs[known])
+        start = c.indptr[pos].astype(np.int64)
+        count = c.indptr[pos + 1].astype(np.int64) - start
+        pick = np.where(
+            count > 0,
+            start + (attempts[known].astype(np.int64) - 2) % np.maximum(count, 1),
+            -1,
+        )
+        alt = np.where(pick >= 0, c.neighbors[np.maximum(pick, 0)], srcs[known])
+        out[known] = alt
+        return out
+
+    def _maybe_hedge(self) -> None:
+        policy = self.policy
+        if policy.hedge_quantile is None:
+            return
+        b = self.batcher
+        running = b.slots_in(RUNNING)
+        if running.size < 2:
+            return
+        elapsed = b.elapsed_ms[running]
+        threshold = max(
+            float(np.quantile(elapsed, policy.hedge_quantile)),
+            policy.hedge_min_ms,
+        )
+        eligible = running[
+            (elapsed >= threshold)
+            & ~b.is_hedge[running]
+            & (b.twin[running] < 0)
+            & (b.attempt[running] == 1)
+        ]
+        if not eligible.size:
+            return
+        n = int(eligible.size)
+        self.counters["hedges"] += n
+        self._inc_obs("serve.hedges", n)
+        slots = b.alloc(n)
+        b.ticket[slots] = b.ticket[eligible]
+        b.src[slots] = b.src[eligible]
+        b.cur[slots] = b.src[eligible]
+        b.dest[slots] = b.dest[eligible]
+        b.hops[slots] = 0
+        b.elapsed_ms[slots] = b.elapsed_ms[eligible]
+        b.deadline_ms[slots] = b.deadline_ms[eligible]
+        b.attempt[slots] = 1
+        b.wait[slots] = 0
+        b.is_hedge[slots] = True
+        b.twin[slots] = eligible
+        b.twin[eligible] = slots
+        b.state[slots] = RUNNING
+
+    # ------------------------------------------------------- completions
+
+    def _stage_complete(
+        self,
+        stage: "_CompletionStage",
+        slots: np.ndarray,
+        status: int,
+        success,
+    ) -> int:
+        """Complete tickets (first runner wins; hedge siblings cancelled)."""
+        b = self.batcher
+        completed = 0
+        for s in slots.tolist():
+            if b.state[s] == FREE:
+                continue  # its sibling won earlier in this pass
+            t = int(b.twin[s])
+            if t >= 0 and b.state[t] != FREE and b.ticket[t] == b.ticket[s]:
+                self.counters["hedge_cancelled"] += 1
+                if bool(b.is_hedge[s]):
+                    self.counters["hedge_wins"] += 1
+                b.release(np.asarray([t], dtype=np.int64))
+            stage.add_slot(b, s, status, bool(success))
+            b.release(np.asarray([s], dtype=np.int64))
+            completed += 1
+        return completed
+
+    def _emit(self, stage: "_CompletionStage") -> None:
+        batch = stage.batch()
+        if batch is None:
+            return
+        self.completed_tickets += batch.size
+        self.counters["completed"] += batch.size
+        delivered = int(np.count_nonzero(batch.delivered))
+        self.counters["delivered"] += delivered
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter("serve.completed").inc(batch.size)
+            registry.counter("serve.delivered").inc(delivered)
+            served = np.isin(batch.status, SERVED_STATUSES)
+            if np.any(served):
+                registry.histogram("serve.latency_ms").observe_many(
+                    batch.latency_ms[served].tolist()
+                )
+                registry.histogram("serve.hops").observe_many(
+                    batch.hops[served].tolist()
+                )
+        for mw in self.middlewares:
+            mw.after_complete(batch)
+        done = self._done
+        done["tickets"].append(batch.tickets)
+        done["sources"].append(batch.sources)
+        done["keys"].append(batch.keys)
+        done["terminals"].append(batch.terminals)
+        done["hops"].append(batch.hops)
+        done["latency_ms"].append(batch.latency_ms)
+        done["attempts"].append(batch.attempts)
+        done["success"].append(batch.success)
+        done["status"].append(batch.status)
+
+    def _inc_obs(self, name: str, n: int) -> None:
+        registry = obs_metrics.active_registry()
+        if registry is not None:
+            registry.counter(name).inc(n)
+
+
+class _CompletionStage:
+    """Per-tick accumulator assembling one :class:`CompletionBatch`."""
+
+    def __init__(self) -> None:
+        self.tickets: List[int] = []
+        self.sources: List[int] = []
+        self.keys: List[int] = []
+        self.terminals: List[int] = []
+        self.hops: List[int] = []
+        self.latency_ms: List[float] = []
+        self.attempts: List[int] = []
+        self.success: List[bool] = []
+        self.status: List[int] = []
+
+    def add_slot(
+        self, b: FrontierBatcher, slot: int, status: int, success: bool
+    ) -> None:
+        self.tickets.append(int(b.ticket[slot]))
+        self.sources.append(int(b.src[slot]))
+        self.keys.append(int(b.dest[slot]))
+        self.terminals.append(int(b.cur[slot]))
+        self.hops.append(int(b.hops[slot]))
+        self.latency_ms.append(float(b.elapsed_ms[slot]))
+        self.attempts.append(int(b.attempt[slot]))
+        self.success.append(success)
+        self.status.append(status)
+
+    def add_immediate(
+        self,
+        tickets: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        idx: np.ndarray,
+        status: int,
+    ) -> None:
+        """Submit-time completions (denied/shed): never entered the frontier."""
+        for i in idx.tolist():
+            self.tickets.append(int(tickets[i]))
+            self.sources.append(int(src[i]))
+            self.keys.append(int(dst[i]))
+            self.terminals.append(int(src[i]))
+            self.hops.append(0)
+            self.latency_ms.append(0.0)
+            self.attempts.append(0)
+            self.success.append(False)
+            self.status.append(status)
+
+    def batch(self) -> Optional[CompletionBatch]:
+        if not self.tickets:
+            return None
+        return CompletionBatch(
+            tickets=np.asarray(self.tickets, dtype=np.int64),
+            sources=np.asarray(self.sources, dtype=np.uint64),
+            keys=np.asarray(self.keys, dtype=np.uint64),
+            terminals=np.asarray(self.terminals, dtype=np.uint64),
+            hops=np.asarray(self.hops, dtype=np.int64),
+            latency_ms=np.asarray(self.latency_ms, dtype=np.float64),
+            attempts=np.asarray(self.attempts, dtype=np.int32),
+            success=np.asarray(self.success, dtype=bool),
+            status=np.asarray(self.status, dtype=np.int16),
+        )
+
+
+# ---------------------------------------------------------------- drivers
+
+
+def run_closed_loop(
+    runtime: ServeRuntime,
+    sources: Sequence[int],
+    keys: Sequence[int],
+    concurrency: int = 1024,
+    on_tick: Optional[Callable[[ServeRuntime, int], None]] = None,
+) -> ServeReport:
+    """Fixed-concurrency driver: each completion admits the next lookup.
+
+    ``on_tick(runtime, tick_index)`` runs after every tick — the hook for
+    injecting churn and swapping in a recompiled view mid-run.
+    """
+    src = np.asarray(sources, dtype=np.uint64)
+    dst = np.asarray(keys, dtype=np.uint64)
+    total = int(src.size)
+    i = 0
+    ticks = 0
+    while i < total or runtime.in_flight:
+        room = concurrency - runtime.outstanding
+        if room > 0 and i < total:
+            take = min(room, total - i)
+            runtime.submit_many(src[i : i + take], dst[i : i + take])
+            i += take
+        runtime.tick()
+        ticks += 1
+        if on_tick is not None:
+            on_tick(runtime, ticks)
+    return runtime.report()
+
+
+def run_open_loop(
+    runtime: ServeRuntime,
+    sources: Sequence[int],
+    keys: Sequence[int],
+    per_tick: int = 1024,
+    on_tick: Optional[Callable[[ServeRuntime, int], None]] = None,
+) -> ServeReport:
+    """Offered-rate driver: ``per_tick`` lookups submitted every tick,
+    regardless of completions (admission control does the protecting)."""
+    src = np.asarray(sources, dtype=np.uint64)
+    dst = np.asarray(keys, dtype=np.uint64)
+    total = int(src.size)
+    i = 0
+    ticks = 0
+    while i < total or runtime.in_flight:
+        if i < total:
+            take = min(per_tick, total - i)
+            runtime.submit_many(src[i : i + take], dst[i : i + take])
+            i += take
+        runtime.tick()
+        ticks += 1
+        if on_tick is not None:
+            on_tick(runtime, ticks)
+    return runtime.report()

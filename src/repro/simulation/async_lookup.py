@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.routing import MAX_HOPS
+from ..obs.metrics import record_counter
 from .protocol import SimulatedCrescendo
 
 
@@ -68,6 +69,7 @@ class AsyncEngine:
         )
         self.completed.append(result)
         self.in_flight -= 1
+        record_counter("async.completed")
         if on_complete is not None:
             on_complete(result)
 
@@ -77,6 +79,7 @@ class AsyncEngine:
         node = net.nodes.get(cur)
         if node is None or not node.alive:
             # The node died while the message was in flight: lost.
+            record_counter("async.lost")
             self._finish(key, state, False, on_complete)
             return
         if len(state["path"]) > MAX_HOPS:
@@ -111,9 +114,13 @@ class AsyncEngine:
     # ------------------------------------------------------------- reporting
 
     def delivery_rate(self) -> float:
-        """Fraction of completed lookups that succeeded."""
+        """Fraction of completed lookups that succeeded.
+
+        ``NaN`` when nothing has completed yet: "no data" must not read
+        as a perfect 1.0 delivery rate.
+        """
         if not self.completed:
-            return 1.0
+            return float("nan")
         return sum(r.success for r in self.completed) / len(self.completed)
 
     def mean_duration(self) -> float:

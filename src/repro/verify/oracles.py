@@ -835,3 +835,143 @@ def check_durability(
                 break
     _count_check(len(out))
     return out
+
+# ------------------------------------------------------- serving equivalence
+
+
+@dataclass
+class ServingComparison:
+    """Scalar vs. batched serving of one lookup schedule."""
+
+    scalar: List  # AsyncResult completions, scalar-completion order
+    report: object  # repro.serve.ServeReport from the batched run
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.violations
+
+    def raise_on_violations(self) -> "ServingComparison":
+        """Raise :class:`InvariantViolationError` unless equivalent."""
+        if self.violations:
+            raise InvariantViolationError(self.violations)
+        return self
+
+
+def compare_serving(
+    factory: Callable[[], SimulatedCrescendo],
+    lookups: Sequence[Tuple[int, int]],
+    churn: Sequence[Tuple[int, Callable[[SimulatedCrescendo], None]]] = (),
+    hop_time: float = 1.0,
+    policy=None,
+    max_reported: int = 20,
+) -> ServingComparison:
+    """Scalar ``AsyncEngine`` vs. batched ``ServeRuntime``, same schedule.
+
+    Builds the net twice via ``factory()`` (which must be deterministic and
+    leave messages on a constant-``hop_time`` latency model), launches every
+    ``(source, key)`` lookup at once on both engines, and requires
+    per-lookup agreement on success flag, terminal node and hop count.
+
+    ``churn`` entries are ``(after_ticks, fn)``: each ``fn(net)`` is a
+    *synchronous* mutator (e.g. ``net.crash``) applied after the batched
+    runtime's tick ``after_ticks`` (ticks count from 1), followed by a view
+    recompile.  On the scalar side the same mutator is scheduled at virtual
+    time ``(after_ticks - 0.5) * hop_time`` past launch — strictly between
+    the message deliveries of hops ``after_ticks`` and ``after_ticks + 1``,
+    which is the same point in routing progress: both engines decide hop
+    ``k+1`` with post-churn state and hop ``k`` without.  This pins the
+    batched frontier stepping to the discrete-event engine hop for hop on
+    a *live, churning* network, not just a frozen snapshot.
+
+    ``policy`` (default: no policy) must be outcome-invariant for the
+    comparison to make sense — retries with ``retry_alternates`` or finite
+    deadlines change outcomes by design and will be reported as
+    violations.
+    """
+    from ..simulation.async_lookup import AsyncEngine
+    from ..serve import ServeRuntime, compile_protocol_view
+    from ..serve.policy import NO_POLICY
+
+    out: List[Violation] = []
+
+    def violation(message: str, **kw) -> Violation:
+        return Violation(
+            check="oracle-serving", family="serving", message=message, **kw
+        )
+
+    # --- scalar side: all lookups at once, churn on the virtual clock.
+    net_a = factory()
+    engine = AsyncEngine(net_a)
+    for after_ticks, fn in churn:
+        if after_ticks < 1:
+            raise ValueError("churn entries start at tick 1")
+        net_a.sim.schedule(
+            (after_ticks - 0.5) * hop_time, (lambda f=fn: f(net_a))
+        )
+    for src, key in lookups:
+        engine.lookup(src, key)
+    net_a.sim.run()
+    scalar_by_pair: Dict[Tuple[int, int], List[Tuple[bool, int, int]]] = {}
+    for result in engine.completed:
+        scalar_by_pair.setdefault((result.path[0], result.key), []).append(
+            (result.success, result.path[-1], result.hops)
+        )
+
+    # --- batched side: same lookups, same churn keyed to tick counts.
+    net_b = factory()
+    runtime = ServeRuntime(
+        *compile_protocol_view(net_b),
+        policy=policy if policy is not None else NO_POLICY,
+    )
+    runtime.submit_many([s for s, _ in lookups], [k for _, k in lookups])
+    pending = sorted(churn, key=lambda entry: entry[0])
+    ticks = idx = 0
+    while runtime.in_flight:
+        runtime.tick()
+        ticks += 1
+        recompiled = False
+        while idx < len(pending) and pending[idx][0] == ticks:
+            pending[idx][1](net_b)
+            idx += 1
+            recompiled = True
+        if recompiled:
+            runtime.set_view(*compile_protocol_view(net_b))
+    report = runtime.report()
+
+    if len(engine.completed) != report.size:
+        out.append(
+            violation(
+                f"scalar completed {len(engine.completed)} lookups "
+                f"but batched completed {report.size}"
+            )
+        )
+    batched_by_pair: Dict[Tuple[int, int], List[Tuple[bool, int, int]]] = {}
+    for src, key, term, hops, success in zip(
+        report.sources, report.keys, report.terminals,
+        report.hops, report.success,
+    ):
+        batched_by_pair.setdefault((int(src), int(key)), []).append(
+            (bool(success), int(term), int(hops))
+        )
+    for pair in dict.fromkeys((int(s), int(k)) for s, k in lookups):
+        expected = sorted(scalar_by_pair.get(pair, []))
+        got = sorted(batched_by_pair.get(pair, []))
+        if expected != got:
+            out.append(
+                violation(
+                    f"lookup {pair[0]}->{pair[1]}: scalar "
+                    f"(success, terminal, hops) {expected} "
+                    f"but batched {got}",
+                    node=pair[0],
+                )
+            )
+            if len(out) >= max_reported:
+                out.append(
+                    violation("... further serving disagreements suppressed")
+                )
+                break
+    _count_check(len(out))
+    return ServingComparison(
+        scalar=list(engine.completed), report=report, violations=out
+    )

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
 
 from repro import IdSpace
+from repro.obs.metrics import collecting
 from repro.simulation.async_lookup import AsyncEngine
 from repro.simulation.events import ConstantLatency, Simulator
 from repro.simulation.protocol import SimulatedCrescendo
@@ -134,3 +136,54 @@ class TestInFlightChurn:
         net.sim.schedule(2.0, add_nodes)
         net.sim.run()
         assert engine.delivery_rate() == 1.0
+
+
+class TestAccounting:
+    """delivery_rate edge cases and the async.* counters."""
+
+    def test_delivery_rate_is_nan_with_no_completions(self):
+        net, rng = grown(size=60)
+        engine = AsyncEngine(net)
+        assert math.isnan(engine.delivery_rate())
+        ids = sorted(net.nodes)
+        engine.lookup(ids[0], ids[-1])
+        # Still in flight: no data is NaN, not a perfect 1.0.
+        assert engine.in_flight == 1
+        assert math.isnan(engine.delivery_rate())
+        net.sim.run()
+        assert engine.delivery_rate() == 1.0
+
+    def test_completed_counter_tracks_every_finish(self):
+        net, rng = grown(size=100)
+        engine = AsyncEngine(net)
+        ids = list(net.nodes)
+        with collecting() as registry:
+            for _ in range(25):
+                a, b = rng.sample(ids, 2)
+                engine.lookup(a, b)
+            net.sim.run()
+        counters = registry.snapshot().data["counters"]
+        assert counters["async.completed"] == 25
+        assert "async.lost" not in counters  # nothing died mid-flight
+
+    def test_lost_counter_fires_on_dead_delivery(self):
+        net, rng = grown(size=80, seed=4)
+        engine = AsyncEngine(net)
+        ids = sorted(net.nodes)
+        src, dst = ids[0], ids[len(ids) // 2]
+
+        def crash_everyone_else():
+            for node_id in list(net.nodes):
+                if node_id != src and net.nodes[node_id].alive:
+                    net.crash(node_id)
+
+        with collecting() as registry:
+            engine.lookup(src, dst)
+            # Before the first delivery (latency 2.0) every other node dies,
+            # so the in-flight message lands on a corpse.
+            net.sim.schedule(0.5, crash_everyone_else)
+            net.sim.run()
+        counters = registry.snapshot().data["counters"]
+        assert counters["async.lost"] == 1
+        assert counters["async.completed"] == 1
+        assert engine.delivery_rate() == 0.0

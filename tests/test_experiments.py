@@ -32,6 +32,7 @@ class TestScaffolding:
             "churn",
             "inflight",
             "isolation",
+            "serve",
             "theorems",
             "scenarios",
             "zoo",

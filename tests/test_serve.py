@@ -1,0 +1,232 @@
+"""Tests for the ``repro.serve`` batched lookup-serving runtime.
+
+The load-bearing claims: frontier stepping is hop-for-hop the batch
+router (kernel level), the runtime completes every admitted ticket with
+the routing verdict of :meth:`CompiledNetwork.route` on a static view,
+and — the differential anchor — batched serving agrees with the scalar
+:class:`AsyncEngine` per lookup on a *live, churning* network.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    STATUS_LOST,
+    STATUS_OK,
+    ServeRuntime,
+    compile_protocol_view,
+    run_closed_loop,
+)
+from repro.serve.batcher import FREE, RUNNING, FrontierBatcher
+from repro.serve.testbed import build_serving_net, domain_labeler, lookup_workload
+from repro.verify.oracles import compare_serving
+
+
+class TestFrontierBatcher:
+    def test_alloc_release_recycles_slots(self):
+        b = FrontierBatcher(capacity=16)
+        slots = b.alloc(10)
+        assert b.in_flight == 10
+        b.state[slots] = RUNNING
+        b.ticket[slots] = np.arange(10)
+        b.release(slots[:4])
+        assert b.in_flight == 6
+        assert np.all(b.state[slots[:4]] == FREE)
+        assert np.all(b.ticket[slots[:4]] == -1)
+        again = b.alloc(4)
+        assert set(again.tolist()) == set(slots[:4].tolist())
+
+    def test_grow_preserves_existing_state(self):
+        b = FrontierBatcher(capacity=16)
+        first = b.alloc(16)
+        b.ticket[first] = np.arange(16)
+        b.state[first] = RUNNING
+        more = b.alloc(20)
+        assert b.capacity >= 36
+        assert np.array_equal(np.sort(b.ticket[first]), np.arange(16))
+        assert np.all(b.ticket[more] == -1)
+        assert b.in_flight == 36
+
+    def test_slots_in_filters_by_state(self):
+        b = FrontierBatcher(capacity=16)
+        slots = b.alloc(6)
+        b.state[slots[:2]] = RUNNING
+        running = b.slots_in(RUNNING)
+        assert set(running.tolist()) == set(slots[:2].tolist())
+
+
+class TestFrontierStepping:
+    """Repeated frontier_step calls must reproduce route() exactly."""
+
+    def test_stepping_matches_batch_route_with_latency(self):
+        net, latency = build_serving_net(192, seed=3)
+        compiled, alive = compile_protocol_view(net)
+        sources, keys = lookup_workload(net, 300, seed=3)
+        expected = compiled.route(
+            sources, keys, alive=set(alive.tolist()), latency=latency
+        )
+        state = compiled.begin_frontier(sources, keys)
+        for _ in range(10_000):
+            if compiled.step_frontier(state, alive, latency=latency) == 0:
+                break
+        assert np.all(state.done)
+        assert np.array_equal(state.hops, expected.hops)
+        assert np.array_equal(state.cur, expected.terminals)
+        assert np.array_equal(state.success, expected.success)
+        assert np.allclose(state.latency_ms, expected.latency_ms)
+
+
+class TestRuntimeBasics:
+    def test_every_ticket_completes_with_route_verdict(self):
+        net, _ = build_serving_net(128, seed=5, with_latency=False)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(compiled, alive)
+        sources, keys = lookup_workload(net, 200, seed=5)
+        tickets = runtime.submit_many(sources, keys)
+        assert tickets.size == 200 and runtime.outstanding == 200
+        runtime.drain()
+        assert runtime.outstanding == 0 and runtime.in_flight == 0
+        report = runtime.report()
+        assert report.size == 200
+        assert sorted(report.tickets.tolist()) == tickets.tolist()
+        expected = compiled.route(sources, keys, alive=set(alive.tolist()))
+        want = {
+            (int(s), int(k)): (bool(ok), int(term))
+            for s, k, ok, term in zip(
+                sources, keys, expected.success, expected.terminals
+            )
+        }
+        for i in range(report.size):
+            pair = (int(report.sources[i]), int(report.keys[i]))
+            assert want[pair] == (
+                bool(report.success[i]),
+                int(report.terminals[i]),
+            )
+        c = report.counters
+        assert c["submitted"] == c["completed"] == 200
+        assert c["delivered"] == int(np.count_nonzero(report.success))
+        assert c["shed"] == c["denied"] == c["expired"] == 0
+
+    def test_domain_labels_are_cached_per_node(self):
+        net, _ = build_serving_net(64, seed=6, with_latency=False)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(compiled, alive, domain_of=domain_labeler(net))
+        sources, keys = lookup_workload(net, 50, seed=6)
+        runtime.submit_many(sources, keys)
+        runtime.drain()
+        live = set(net.live_view())
+        for node_id, label in runtime._domain_cache.items():
+            assert node_id in live
+            assert label == str(net.nodes[node_id].path[0])
+
+    def test_set_view_after_churn_keeps_inflight_tickets(self):
+        net, _ = build_serving_net(256, seed=7, with_latency=False)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(compiled, alive)
+        sources, keys = lookup_workload(net, 300, seed=7)
+        runtime.submit_many(sources, keys)
+        runtime.tick()
+        runtime.tick()
+        rng = random.Random("serve-test-churn")
+        for victim in rng.sample(sorted(net.live_view()), 40):
+            net.crash(victim)
+        runtime.set_view(*compile_protocol_view(net))
+        runtime.drain()
+        report = runtime.report()
+        # Every admitted ticket still resolves exactly once; runners parked
+        # on crashed nodes surface as LOST rather than hanging.
+        assert report.size == 300
+        assert report.counters["lost"] == int(
+            np.count_nonzero(report.status == STATUS_LOST)
+        )
+
+    def test_closed_loop_caps_outstanding(self):
+        net, _ = build_serving_net(128, seed=8, with_latency=False)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(compiled, alive)
+        sources, keys = lookup_workload(net, 400, seed=8)
+        seen = []
+        report = run_closed_loop(
+            runtime,
+            sources,
+            keys,
+            concurrency=64,
+            on_tick=lambda rt, _t: seen.append(rt.outstanding),
+        )
+        assert report.size == 400
+        assert max(seen) <= 64
+
+    def test_report_quantiles_and_summary(self):
+        net, latency = build_serving_net(128, seed=9)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(compiled, alive, latency=latency)
+        sources, keys = lookup_workload(net, 100, seed=9)
+        runtime.submit_many(sources, keys)
+        runtime.drain()
+        report = runtime.report()
+        assert report.quantile_ms(0.5) <= report.quantile_ms(0.99)
+        text = report.summary()
+        assert "100 submitted" in text and "p99" in text
+
+    def test_mismatched_batch_shapes_rejected(self):
+        net, _ = build_serving_net(64, seed=1, with_latency=False)
+        runtime = ServeRuntime(*compile_protocol_view(net))
+        with pytest.raises(ValueError):
+            runtime.submit_many([1, 2, 3], [4, 5])
+
+
+class TestDifferentialAsync:
+    """Pin batched frontier serving to AsyncEngine, hop for hop."""
+
+    def test_agrees_with_async_engine_on_static_net(self):
+        net, _ = build_serving_net(200, seed=12, with_latency=False)
+        live = sorted(net.live_view())
+        rng = random.Random("serve-diff-static")
+        lookups = [
+            (rng.choice(live), rng.randrange(net.space.size)) for _ in range(250)
+        ]
+        comparison = compare_serving(
+            lambda: build_serving_net(200, seed=12, with_latency=False)[0],
+            lookups,
+        )
+        assert comparison.equivalent, comparison.violations
+        assert len(comparison.scalar) == 250
+
+    def test_agrees_with_async_engine_under_live_churn(self):
+        """Mid-flight crashes: the batched runtime must lose, fail and
+        deliver exactly the lookups the discrete-event engine does."""
+
+        def factory():
+            return build_serving_net(
+                300, seed=13, engine="reference", with_latency=False
+            )[0]
+
+        net = factory()
+        live = sorted(net.live_view())
+        rng = random.Random("serve-diff-churn")
+        lookups = [
+            (rng.choice(live), rng.randrange(net.space.size)) for _ in range(250)
+        ]
+        victims = rng.sample(live, 30)
+
+        def crash_some(target, batch):
+            for victim in batch:
+                if victim in target.nodes and target.nodes[victim].alive:
+                    target.crash(victim)
+
+        churn = [
+            (2, lambda n: crash_some(n, victims[:15])),
+            (4, lambda n: crash_some(n, victims[15:])),
+        ]
+        comparison = compare_serving(factory, lookups, churn=churn)
+        assert comparison.equivalent, comparison.violations
+        statuses = comparison.report.status
+        assert comparison.report.size == 250
+        # The schedule is hot enough that churn actually bites: at least
+        # one lookup must terminate off the happy path on both engines.
+        assert np.any(statuses != STATUS_OK)
+        assert any(not r.success for r in comparison.scalar)

@@ -1,0 +1,244 @@
+"""Property tests for the serving policy layer.
+
+The policy contract (module docstring of ``repro.serve.policy``): on a
+static network, deadlines, retry budgets and hedges may change *when* a
+lookup completes and what the counters say — never *where* it lands.
+Every test here compares per-ticket ``(success, terminal)`` outcomes
+against the no-policy run and only lets policy show up in latency and
+counters.  Admission control and ACLs are the exception by design: they
+complete lookups without serving them, with their own statuses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.obs.metrics import collecting
+from repro.obs.slo import SLOReport
+from repro.serve import (
+    NO_POLICY,
+    STATUS_DEADLINE,
+    STATUS_DENIED,
+    STATUS_OK,
+    STATUS_SHED,
+    DomainACL,
+    DomainBuckets,
+    SLOMiddleware,
+    ServePolicy,
+    ServeRuntime,
+    compile_protocol_view,
+    run_open_loop,
+)
+from repro.serve.testbed import build_serving_net, domain_labeler, lookup_workload
+
+SEEDS = (21, 22, 23)
+
+
+def _serve(net, latency, sources, keys, policy, **kwargs):
+    runtime = ServeRuntime(
+        *compile_protocol_view(net), policy=policy, latency=latency, **kwargs
+    )
+    runtime.submit_many(sources, keys)
+    runtime.drain()
+    return runtime.report()
+
+
+def _served_outcomes(report):
+    """ticket -> (success, terminal) over lookups that got a routing verdict."""
+    return {
+        ticket: (ok, term)
+        for ticket, (ok, term, status) in report.outcome_map().items()
+        if status in (0, 1)  # STATUS_OK / STATUS_FAIL
+    }
+
+
+class TestOutcomeInvariance:
+    """Seeded property sweep: policy never changes served outcomes."""
+
+    def test_retries_and_hedges_match_no_policy_run(self):
+        policies = {
+            "retry x3": ServePolicy(max_attempts=3),
+            "retry x3 alternates": ServePolicy(
+                max_attempts=3, retry_alternates=True
+            ),
+            "hedge p50": ServePolicy(hedge_quantile=0.5),
+            "hedge p50 floor": ServePolicy(hedge_quantile=0.5, hedge_min_ms=2.0),
+        }
+        for seed in SEEDS:
+            net, latency = build_serving_net(160, seed=seed)
+            sources, keys = lookup_workload(net, 150, seed=seed)
+            baseline = _serve(net, latency, sources, keys, NO_POLICY)
+            base_outcomes = _served_outcomes(baseline)
+            assert len(base_outcomes) == 150
+            for name, policy in policies.items():
+                report = _serve(net, latency, sources, keys, policy)
+                assert _served_outcomes(report) == base_outcomes, (name, seed)
+                assert report.counters["expired"] == 0, (name, seed)
+
+    def test_hedges_actually_fire_and_only_touch_counters(self):
+        net, latency = build_serving_net(256, seed=31)
+        sources, keys = lookup_workload(net, 400, seed=31)
+        baseline = _serve(net, latency, sources, keys, NO_POLICY)
+        hedged = _serve(
+            net, latency, sources, keys, ServePolicy(hedge_quantile=0.5)
+        )
+        assert hedged.counters["hedges"] > 0
+        # On a static net every spawned hedge pair resolves by exactly one
+        # runner winning and the other being cancelled.
+        assert hedged.counters["hedge_cancelled"] == hedged.counters["hedges"]
+        assert hedged.counters["hedge_wins"] <= hedged.counters["hedges"]
+        assert _served_outcomes(hedged) == _served_outcomes(baseline)
+        # A winning hedge can only shorten a lookup, never lengthen it.
+        assert hedged.quantile_ms(0.99) <= baseline.quantile_ms(0.99) + 1e-9
+
+    def test_deadline_expiry_excludes_but_never_rewrites(self):
+        for seed in SEEDS:
+            net, latency = build_serving_net(160, seed=seed)
+            sources, keys = lookup_workload(net, 150, seed=seed)
+            baseline = _serve(net, latency, sources, keys, NO_POLICY)
+            base_outcomes = _served_outcomes(baseline)
+            cutoff = baseline.quantile_ms(0.5)
+            report = _serve(
+                net, latency, sources, keys, ServePolicy(deadline_ms=cutoff)
+            )
+            expired = {
+                t
+                for t, (_ok, _term, status) in report.outcome_map().items()
+                if status == STATUS_DEADLINE
+            }
+            assert report.counters["expired"] == len(expired) > 0
+            served = _served_outcomes(report)
+            assert set(served) | expired == set(base_outcomes)
+            # Every non-expired ticket keeps the baseline verdict.
+            for ticket, outcome in served.items():
+                assert outcome == base_outcomes[ticket], seed
+            # All lookups the deadline reaped were slower than the cutoff
+            # in the baseline run (same static net, same latency fold).
+            base_ms = dict(
+                zip(baseline.tickets.tolist(), baseline.latency_ms.tolist())
+            )
+            for ticket in expired:
+                assert base_ms[ticket] > cutoff
+
+    def test_retries_recover_lookups_under_churn(self):
+        net, _ = build_serving_net(512, seed=33, with_latency=False)
+        compiled, alive = compile_protocol_view(net)
+        runtime = ServeRuntime(
+            compiled, alive, policy=ServePolicy(max_attempts=4)
+        )
+        sources, keys = lookup_workload(net, 600, seed=33)
+        runtime.submit_many(sources, keys)
+        rng = random.Random("serve-policy-churn")
+        for round_ in range(3):
+            runtime.tick()
+            victims = rng.sample(sorted(net.live_view()), 25)
+            for victim in victims:
+                net.crash(victim)
+            runtime.set_view(*compile_protocol_view(net))
+        runtime.drain()
+        report = runtime.report()
+        assert report.size == 600
+        assert report.counters["retries"] > 0
+        # A retry consumes a fresh attempt; the report must show it.
+        assert int(report.attempts.max()) > 1
+
+
+class TestDomainBuckets:
+    def test_refill_caps_at_burst(self):
+        buckets = DomainBuckets(rate=3.0, burst=5.0, domains=("a",))
+        code = buckets.code("a")
+        buckets.tokens[code] = 0.0
+        buckets.refill()
+        assert buckets.tokens[code] == 3.0
+        buckets.refill()
+        assert buckets.tokens[code] == 5.0  # capped, not 6
+
+    def test_admit_is_fifo_within_batch(self):
+        buckets = DomainBuckets(rate=0.0, burst=2.0, domains=("a", "b"))
+        a, b = buckets.code("a"), buckets.code("b")
+        codes = np.asarray([a, a, b, a, b], dtype=np.int64)
+        admitted = buckets.admit(codes)
+        # Two tokens per domain: the first two of each domain win, batch order.
+        assert admitted.tolist() == [True, True, True, False, True]
+        assert buckets.tokens[a] == 0.0 and buckets.tokens[b] == 0.0
+        assert not buckets.admit(codes).any()
+
+    def test_new_domains_start_with_full_burst(self):
+        buckets = DomainBuckets(rate=1.0, burst=4.0)
+        code = buckets.code("late")
+        assert buckets.tokens[code] == 4.0
+        assert buckets.domains == ("late",)
+
+
+class TestAdmissionAndACL:
+    def test_acl_denies_whole_domain_immediately(self):
+        net, _ = build_serving_net(128, seed=41, with_latency=False)
+        labeler = domain_labeler(net)
+        sources, keys = lookup_workload(net, 120, seed=41)
+        blocked = labeler(int(sources[0]))
+        runtime = ServeRuntime(
+            *compile_protocol_view(net),
+            middlewares=[DomainACL(deny_sources=[blocked])],
+            domain_of=labeler,
+        )
+        runtime.submit_many(sources, keys)
+        runtime.drain()
+        report = runtime.report()
+        denied = report.status == STATUS_DENIED
+        assert report.counters["denied"] == int(np.count_nonzero(denied)) > 0
+        by_ticket = dict(zip(report.tickets.tolist(), report.status.tolist()))
+        for ticket, src in enumerate(sources.tolist()):
+            if labeler(src) == blocked:
+                assert by_ticket[ticket] == STATUS_DENIED
+            else:
+                assert by_ticket[ticket] != STATUS_DENIED
+        # Denied lookups never entered the frontier.
+        assert np.all(report.hops[denied] == 0)
+        assert not np.any(report.success[denied])
+
+    def test_open_loop_sheds_over_admission_rate(self):
+        net, _ = build_serving_net(256, seed=42, with_latency=False)
+        sources, keys = lookup_workload(net, 800, seed=42)
+        runtime = ServeRuntime(
+            *compile_protocol_view(net),
+            policy=ServePolicy(admit_rate=8.0, admit_burst=16.0),
+            domain_of=domain_labeler(net),
+        )
+        report = run_open_loop(runtime, sources, keys, per_tick=200)
+        c = report.counters
+        assert c["shed"] > 0
+        assert c["shed"] == int(np.count_nonzero(report.status == STATUS_SHED))
+        # Shed or not, every submission completes exactly once.
+        assert c["completed"] == c["submitted"] == 800
+        assert c["admitted"] + c["shed"] + c["denied"] == 800
+
+    def test_no_admission_control_without_rate(self):
+        net, _ = build_serving_net(64, seed=43, with_latency=False)
+        runtime = ServeRuntime(*compile_protocol_view(net))
+        assert runtime.buckets is None
+
+
+class TestSLOMiddleware:
+    def test_serving_run_lands_in_slo_report(self):
+        net, latency = build_serving_net(128, seed=51)
+        sources, keys = lookup_workload(net, 90, seed=51)
+        with collecting() as registry:
+            report = _serve(
+                net,
+                latency,
+                sources,
+                keys,
+                NO_POLICY,
+                middlewares=[SLOMiddleware("serve.test")],
+            )
+        slo = SLOReport.from_snapshot(registry.snapshot())
+        row = slo.row("serve.test")
+        assert row is not None
+        assert row.samples == 90
+        assert row.delivered == report.counters["delivered"]
+        assert row.p50_ms > 0
+        counters = registry.snapshot().data["counters"]
+        assert counters["serve.completed"] == 90
+        assert counters["serve.submitted"] == 90
